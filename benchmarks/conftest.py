@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's figures through the
+experiment harness, prints the series (the rows the figure plots), and
+writes the table to ``benchmarks/output/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: Path, name: str, table: str) -> None:
+    """Print a regenerated series and persist it."""
+    header = f"\n===== {name} =====\n"
+    print(header + table)
+    (output_dir / f"{name}.txt").write_text(table)

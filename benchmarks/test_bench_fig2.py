@@ -1,0 +1,43 @@
+"""Regenerates Fig. 2 (Example 1): delay bounds vs. total utilization.
+
+Series: BMUX / FIFO / EDF (d*_0 = d/H, d*_c = 10 d/H) for H in {2, 5, 10},
+U0 = 15% fixed, U sweeping 20..95%, eps = 1e-9.
+
+Expected shape: bounds rise with U and blow up near saturation; FIFO is
+indistinguishable from BMUX from H = 5 on; EDF stays markedly lower and
+the gap grows with H.
+"""
+
+from conftest import emit
+
+from repro.experiments.example1 import run_example1
+from repro.experiments.runner import format_table
+
+
+def test_fig2_series(benchmark, output_dir):
+    """Full Fig. 2 sweep (quick optimization grids)."""
+
+    def compute():
+        return run_example1(quick=True)
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(rows, x_label="U [%]")
+    emit(output_dir, "fig2_example1", table)
+
+    # shape assertions: the paper's reading of the figure
+    cells = {(r.series, r.x): r.delay for r in rows}
+    for u in (50.0, 80.0):
+        gap_h5 = 1.0 - cells[("FIFO H=5", u)] / cells[("BMUX H=5", u)]
+        assert gap_h5 < 0.06
+        assert cells[("EDF H=10", u)] < 0.75 * cells[("FIFO H=10", u)]
+    benchmark.extra_info["cells"] = len(rows)
+
+
+def test_fig2_single_cell(benchmark):
+    """Timing of one (scheduler, H, U) cell — the unit of the sweep."""
+
+    def compute():
+        return run_example1(utilizations=(0.5,), hops=(5,), schedulers=("FIFO",))
+
+    rows = benchmark(compute)
+    assert rows[0].delay > 0

@@ -1,0 +1,50 @@
+"""Regenerates Fig. 3 (Example 2): delay bounds vs. traffic mix at U = 50%.
+
+Series: BMUX / FIFO / EDF-short (d*_0 = d*_c/2) / EDF-long (d*_0 = 2 d*_c)
+for H in {2, 5, 10}; x is the cross-traffic share U_c/U.
+
+Expected shape: bounds vary with the mix although U is constant;
+EDF-short is nearly insensitive to the mix at H = 2; larger d*_0/d*_c
+means more sensitivity to cross traffic; at H = 10 every Delta-scheduler
+behaves like BMUX.
+"""
+
+from conftest import emit
+
+from repro.experiments.example2 import run_example2
+from repro.experiments.runner import format_table
+
+
+def test_fig3_series(benchmark, output_dir):
+    """Full Fig. 3 sweep (quick optimization grids)."""
+
+    def compute():
+        return run_example2(quick=True)
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(rows, x_label="Uc/U")
+    emit(output_dir, "fig3_example2", table)
+
+    cells = {(r.series, r.x): r.delay for r in rows}
+
+    def sensitivity(series):
+        lo, hi = cells[(series, 0.1)], cells[(series, 0.9)]
+        return abs(hi - lo) / max(lo, 1e-12)
+
+    # EDF-short at H=2 is the flattest curve of the figure
+    assert sensitivity("EDF short H=2") <= sensitivity("FIFO H=2")
+    assert sensitivity("EDF short H=2") <= sensitivity("EDF long H=2")
+    # at H = 10, FIFO has converged to BMUX across the whole mix range
+    for mix in (0.1, 0.5, 0.9):
+        assert cells[("FIFO H=10", mix)] >= 0.93 * cells[("BMUX H=10", mix)]
+    benchmark.extra_info["cells"] = len(rows)
+
+
+def test_fig3_single_cell(benchmark):
+    """Timing of one EDF fixed-point cell (the expensive series)."""
+
+    def compute():
+        return run_example2(mixes=(0.5,), hops=(2,), schedulers=("EDF short",))
+
+    rows = benchmark(compute)
+    assert rows[0].delay > 0

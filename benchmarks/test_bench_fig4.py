@@ -1,0 +1,63 @@
+"""Regenerates Fig. 4 (Example 3): delay bounds vs. path length.
+
+Series: BMUX / FIFO / EDF via the network service curve, plus the
+node-by-node additive BMUX baseline, at U in {10, 50, 90}% with
+N_0 = N_c.
+
+Expected shape: network-service-curve bounds grow essentially linearly
+(Theta(H log H)); the additive baseline grows polynomially
+(O(H^3 log H) in discrete time) and is far looser; FIFO and BMUX look
+identical over the whole range; EDF is clearly lower at high utilization.
+"""
+
+from conftest import emit
+
+from repro.experiments.example3 import run_example3
+from repro.experiments.runner import format_table
+from repro.network.scaling import fit_growth_exponent
+
+
+def test_fig4_series(benchmark, output_dir):
+    """Full Fig. 4 sweep (quick optimization grids)."""
+
+    def compute():
+        return run_example3(quick=True)
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(rows, x_label="H")
+    emit(output_dir, "fig4_example3", table)
+
+    cells = {(r.series, r.x): r.delay for r in rows}
+    hs = sorted({r.x for r in rows if r.x >= 2})
+
+    # additive baseline: much looser and diverging
+    for u in ("U=50%", "U=90%"):
+        net = [cells[(f"BMUX {u}", h)] for h in hs]
+        add = [cells[(f"BMUX additive {u}", h)] for h in hs]
+        assert fit_growth_exponent(hs, add) > fit_growth_exponent(hs, net) + 0.5
+        assert add[-1] > 2.0 * net[-1]
+
+    # network-service-curve bounds grow essentially linearly
+    net_exponent = fit_growth_exponent(
+        hs, [cells[("FIFO U=50%", h)] for h in hs]
+    )
+    assert net_exponent < 1.5
+
+    # FIFO and BMUX visually identical; EDF clearly lower at U = 90%
+    for h in hs:
+        assert cells[("FIFO U=90%", h)] >= 0.8 * cells[("BMUX U=90%", h)]
+        if h >= 2:
+            assert cells[("EDF U=90%", h)] < 0.8 * cells[("FIFO U=90%", h)]
+    benchmark.extra_info["cells"] = len(rows)
+
+
+def test_fig4_single_cell_additive(benchmark):
+    """Timing of one additive-baseline cell."""
+
+    def compute():
+        return run_example3(
+            hops=(6,), utilizations=(0.5,), schedulers=("BMUX additive",)
+        )
+
+    rows = benchmark(compute)
+    assert rows[0].delay > 0

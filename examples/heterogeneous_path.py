@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Heterogeneous paths: per-node capacities, loads, and schedulers.
+
+The paper's Section IV closes with a remark that the analysis extends to
+non-homogeneous networks.  This example exercises that extension: a
+4-node path whose middle node is a slower, more loaded bottleneck, with a
+different scheduler at every node — and shows how upgrading just the
+bottleneck's scheduler moves the end-to-end bound.
+
+Run:  python examples/heterogeneous_path.py
+"""
+
+import math
+
+from repro import MMOOParameters
+from repro.network import HeterogeneousPath, HopSpec
+
+traffic = MMOOParameters.paper_defaults()
+EPSILON = 1e-9
+
+# EBB characterization at a fixed effective-bandwidth parameter
+S_PARAM = 0.01
+through = traffic.ebb(n_flows=100, s=S_PARAM)
+
+
+def cross(n_flows: int) -> object:
+    return traffic.ebb(n_flows, S_PARAM)
+
+
+def build_path(bottleneck_delta: float) -> HeterogeneousPath:
+    """4 nodes; node 3 is a 60 Mbps bottleneck carrying heavy cross load."""
+    return HeterogeneousPath(
+        (
+            HopSpec(capacity=100.0, cross=cross(150), delta=0.0),     # FIFO
+            HopSpec(capacity=100.0, cross=cross(100), delta=math.inf),  # BMUX
+            HopSpec(capacity=60.0, cross=cross(120), delta=bottleneck_delta),
+            HopSpec(capacity=100.0, cross=cross(80), delta=0.0),      # FIFO
+        )
+    )
+
+
+def main() -> None:
+    print("4-node heterogeneous path; node 3 = 60 Mbps bottleneck\n")
+    for label, delta in [
+        ("bottleneck FIFO        (Delta = 0)", 0.0),
+        ("bottleneck BMUX        (Delta = +inf)", math.inf),
+        ("bottleneck EDF favored (Delta = -20 ms)", -20.0),
+    ]:
+        result = build_path(delta).delay_bound(through, EPSILON)
+        print(f"  {label:42s} -> {result.delay:8.2f} ms "
+              f"(gamma={result.gamma:.3f})")
+    print(
+        "\nOnly the bottleneck's scheduler changed; the spread of the"
+        "\nend-to-end bounds is the value of deadline-based scheduling"
+        "\nat the one node where capacity is scarce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Long-path scaling: does link scheduling matter as H grows?
+
+Reproduces the paper's central question in one table: end-to-end delay
+bounds for BMUX, FIFO, and EDF as the path length grows from 1 to 16
+hops, plus the node-by-node additive baseline, with the fitted growth
+exponents.
+
+Run:  python examples/long_path_scaling.py
+"""
+
+import math
+
+from repro import MMOOParameters
+from repro.network import (
+    additive_pernode_delay_bound_mmoo,
+    e2e_delay_bound_edf,
+    e2e_delay_bound_mmoo,
+    fit_growth_exponent,
+)
+
+traffic = MMOOParameters.paper_defaults()
+
+CAPACITY = 100.0
+EPSILON = 1e-9
+N_HALF = 166  # through = cross: ~50% total utilization
+HOPS = (1, 2, 4, 8, 16)
+GRIDS = {"s_grid": 12, "gamma_grid": 12}
+
+
+def main() -> None:
+    series: dict[str, list[float]] = {
+        "BMUX": [], "FIFO": [], "EDF": [], "additive": []
+    }
+    for hops in HOPS:
+        series["BMUX"].append(
+            e2e_delay_bound_mmoo(
+                traffic, N_HALF, N_HALF, hops, CAPACITY, math.inf, EPSILON,
+                **GRIDS,
+            ).delay
+        )
+        series["FIFO"].append(
+            e2e_delay_bound_mmoo(
+                traffic, N_HALF, N_HALF, hops, CAPACITY, 0.0, EPSILON, **GRIDS
+            ).delay
+        )
+        edf, _ = e2e_delay_bound_edf(
+            traffic, N_HALF, N_HALF, hops, CAPACITY, EPSILON, **GRIDS
+        )
+        series["EDF"].append(edf.delay)
+        series["additive"].append(
+            additive_pernode_delay_bound_mmoo(
+                traffic, N_HALF, N_HALF, hops, CAPACITY, EPSILON, **GRIDS
+            ).delay
+        )
+
+    print(f"End-to-end delay bounds [ms], U=50%, eps={EPSILON:g}\n")
+    header = f"{'H':>4}" + "".join(f"{name:>12}" for name in series)
+    print(header)
+    print("-" * len(header))
+    for i, hops in enumerate(HOPS):
+        print(
+            f"{hops:>4}"
+            + "".join(f"{series[name][i]:>12.2f}" for name in series)
+        )
+    print("\nfitted growth exponents (log delay vs log H):")
+    for name, values in series.items():
+        exponent = fit_growth_exponent(HOPS, values)
+        print(f"  {name:>9}: H^{exponent:.2f}")
+    print(
+        "\nReading: all Delta-scheduler bounds grow ~linearly"
+        " (Theta(H log H)); the additive baseline diverges polynomially."
+        "\nFIFO converges onto BMUX while EDF keeps a constant-factor"
+        " advantage — scheduling still matters at H = 16."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: an end-to-end delay bound in a dozen lines.
+
+Computes the probabilistic end-to-end delay bound of a through aggregate
+of Markov-modulated on-off flows over a 5-node path at 50% utilization,
+for FIFO, blind multiplexing (BMUX), and EDF scheduling — the headline
+computation of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import MMOOParameters
+from repro.network import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+
+# --- the paper's traffic: 1.5 Mbps peak / 0.15 Mbps mean on-off flows ---
+traffic = MMOOParameters.paper_defaults()
+
+CAPACITY = 100.0   # Mbps at every node
+HOPS = 5           # path length H
+EPSILON = 1e-9     # delay-bound violation probability
+N_THROUGH = 100    # through aggregate: 15% utilization
+N_CROSS = 236      # per-node cross aggregate: another 35%
+
+
+def main() -> None:
+    print(f"Path: H={HOPS} nodes x {CAPACITY:.0f} Mbps, eps={EPSILON:g}")
+    print(f"Load: {N_THROUGH} through + {N_CROSS} cross flows per node "
+          f"(~50% total utilization)\n")
+
+    # blind multiplexing: the scheduler-agnostic worst case (Delta = +inf)
+    bmux = e2e_delay_bound_mmoo(
+        traffic, N_THROUGH, N_CROSS, HOPS, CAPACITY, math.inf, EPSILON
+    )
+    print(f"BMUX  : {bmux.delay:8.2f} ms   "
+          f"(gamma={bmux.gamma:.3f}, alpha={bmux.alpha:.4f})")
+
+    # FIFO (Delta = 0)
+    fifo = e2e_delay_bound_mmoo(
+        traffic, N_THROUGH, N_CROSS, HOPS, CAPACITY, 0.0, EPSILON
+    )
+    print(f"FIFO  : {fifo.delay:8.2f} ms")
+
+    # EDF with through deadlines 10x tighter than cross deadlines,
+    # resolved as a fixed point of the resulting bound (paper Sec. V)
+    edf, delta = e2e_delay_bound_edf(
+        traffic, N_THROUGH, N_CROSS, HOPS, CAPACITY, EPSILON,
+        deadline_weight_through=1.0, deadline_weight_cross=10.0,
+    )
+    print(f"EDF   : {edf.delay:8.2f} ms   (Delta_0c = {delta:.2f} ms)\n")
+
+    gap = (bmux.delay - fifo.delay) / bmux.delay * 100
+    print(f"FIFO sits within {gap:.1f}% of BMUX at H={HOPS} — on long "
+          "paths FIFO delivers no delay differentiation.")
+    print(f"EDF stays {fifo.delay / edf.delay:.1f}x below FIFO — link "
+          "scheduling *does* matter on long paths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scheduler comparison: analytic bounds next to simulated delays.
+
+For a 2-hop path at 90% utilization this script computes the analytic
+end-to-end delay bound (eps = 1e-3) for FIFO, BMUX, and EDF, then runs the
+discrete-time simulator with the same workload and reports the measured
+99.9%-delay-quantile — showing both the soundness of the bounds (quantile
+below bound) and their conservatism (the gap).
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+import math
+
+from repro import MMOOParameters
+from repro.network import e2e_delay_bound_mmoo
+from repro.simulation import SimulationConfig, simulate_tandem_mmoo
+
+traffic = MMOOParameters.paper_defaults()
+
+CAPACITY = 100.0
+HOPS = 2
+EPSILON = 1e-3
+N_HALF = 300  # through = cross = 300 flows: ~90% utilization
+SLOTS = 30_000
+
+SCHEDULERS = [
+    # (label, simulator scheduler, analysis Delta, extra config)
+    ("FIFO", "fifo", 0.0, {}),
+    ("BMUX", "bmux", math.inf, {}),
+    ("EDF", "edf", 1.0 - 10.0,
+     {"edf_deadline_through": 1.0, "edf_deadline_cross": 10.0}),
+    ("GPS", "gps", None, {"gps_weight_through": 1.0, "gps_weight_cross": 1.0}),
+]
+
+
+def main() -> None:
+    print(f"H={HOPS}, U~90%, eps={EPSILON:g}, {SLOTS} slots of 1 ms\n")
+    print(f"{'scheduler':>10} {'bound [ms]':>12} {'sim q99.9':>12} "
+          f"{'sim max':>10} {'sim mean':>10}")
+    for label, sim_name, delta, extra in SCHEDULERS:
+        if delta is None:
+            bound_text = "(no Delta)"  # GPS is not a Delta-scheduler
+        else:
+            bound = e2e_delay_bound_mmoo(
+                traffic, N_HALF, N_HALF, HOPS, CAPACITY, delta, EPSILON,
+                s_grid=12, gamma_grid=12,
+            )
+            bound_text = f"{bound.delay:12.2f}"
+        config = SimulationConfig(
+            traffic=traffic, n_through=N_HALF, n_cross=N_HALF, hops=HOPS,
+            capacity=CAPACITY, slots=SLOTS, scheduler=sim_name, seed=17,
+            **extra,
+        )
+        delays = simulate_tandem_mmoo(config).through_delays
+        print(
+            f"{label:>10} {bound_text:>12} "
+            f"{delays.quantile(1 - EPSILON):>12.1f} "
+            f"{delays.max():>10.1f} {delays.mean():>10.2f}"
+        )
+    print(
+        "\nEvery simulated quantile sits below its analytic bound; the gap"
+        "\nis the price of a guarantee that holds for *any* stationary"
+        "\ntraffic satisfying the EBB characterization, not just this seed."
+        "\nGPS (not a Delta-scheduler) is simulated for contrast only."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Min-plus algebra substrate.
+
+Network calculus manipulates nondecreasing functions of time ("curves")
+with the operators of the min-plus algebra: pointwise minimum/maximum/sum,
+min-plus convolution and deconvolution, and the horizontal/vertical
+deviations that turn an arrival envelope and a service curve into delay and
+backlog bounds.
+
+This package provides an exact implementation for piecewise-linear curves
+(:class:`repro.algebra.functions.PiecewiseLinear`), which covers every curve
+family used by the paper — token buckets, constant-rate and rate-latency
+service curves, the pure-delay element ``delta_d`` — together with numeric
+fallbacks for arbitrary curves.
+"""
+
+from repro.algebra.functions import PiecewiseLinear, Segment
+from repro.algebra.minplus import (
+    convolve,
+    convolve_numeric,
+    deconvolve_numeric,
+    horizontal_deviation,
+    vertical_deviation,
+)
+from repro.algebra.operations import (
+    pointwise_add,
+    pointwise_max,
+    pointwise_min,
+)
+
+__all__ = [
+    "PiecewiseLinear",
+    "Segment",
+    "convolve",
+    "convolve_numeric",
+    "deconvolve_numeric",
+    "horizontal_deviation",
+    "vertical_deviation",
+    "pointwise_add",
+    "pointwise_max",
+    "pointwise_min",
+]

@@ -1,0 +1,553 @@
+"""Piecewise-linear functions on the nonnegative real line.
+
+The curve families of the (deterministic and stochastic) network calculus —
+leaky-bucket envelopes, constant-rate links, rate-latency service curves,
+pure-delay elements — are all piecewise linear.  :class:`PiecewiseLinear`
+represents such a function exactly:
+
+* a sorted tuple of breakpoints ``(x_i, y_i)`` with ``x_0 = 0``, linear
+  interpolation between consecutive breakpoints,
+* a ``final_slope`` applying to the right of the last breakpoint,
+* an optional finite ``cutoff``: the function equals ``+inf`` strictly
+  beyond the cutoff.  This encodes the pure-delay element
+  ``delta_d(t) = 0 if t <= d else +inf`` (paper Eq. (4)) and, more
+  generally, service curves of systems that deliver all traffic within a
+  deadline.
+
+By network-calculus convention the functions are extended by ``0`` for
+``t < 0``.  Instances are immutable; all operations return new objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One linear piece of a piecewise-linear function.
+
+    ``length`` may be ``math.inf`` for the final piece.
+    """
+
+    length: float
+    slope: float
+
+
+def _merge_close(values: Iterable[float], tol: float = _EPS) -> list[float]:
+    """Sort values and merge those closer than ``tol`` (relative)."""
+    ordered = sorted(values)
+    merged: list[float] = []
+    for v in ordered:
+        if merged and abs(v - merged[-1]) <= tol * max(1.0, abs(v)):
+            continue
+        merged.append(v)
+    return merged
+
+
+class PiecewiseLinear:
+    """An exact piecewise-linear function ``f: [0, inf) -> [0, inf]``.
+
+    Parameters
+    ----------
+    xs, ys:
+        Breakpoint coordinates.  ``xs`` must start at ``0`` and be strictly
+        increasing; ``ys`` must be finite.
+    final_slope:
+        Slope to the right of the last breakpoint (finite).
+    cutoff:
+        The function is ``+inf`` for ``t > cutoff``.  Must satisfy
+        ``cutoff >= xs[-1]``; defaults to ``math.inf`` (no cutoff).
+
+    Examples
+    --------
+    >>> f = PiecewiseLinear.rate_latency(rate=2.0, latency=3.0)
+    >>> f(3.0), f(5.0)
+    (0.0, 4.0)
+    >>> delta = PiecewiseLinear.delay(4.0)
+    >>> delta(4.0), delta(4.5)
+    (0.0, inf)
+    """
+
+    __slots__ = ("_xs", "_ys", "_final_slope", "_cutoff")
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        final_slope: float = 0.0,
+        cutoff: float = math.inf,
+    ) -> None:
+        if len(xs) != len(ys) or not xs:
+            raise ValueError("xs and ys must be equal-length, non-empty")
+        if abs(xs[0]) > _EPS:
+            raise ValueError(f"first breakpoint must be at x=0, got {xs[0]}")
+        xs_t = tuple(float(x) for x in xs)
+        ys_t = tuple(float(y) for y in ys)
+        for a, b in zip(xs_t, xs_t[1:]):
+            if b <= a:
+                raise ValueError(f"breakpoint xs must be strictly increasing: {a} >= {b}")
+        for y in ys_t:
+            if not math.isfinite(y):
+                raise ValueError("breakpoint values must be finite")
+        if not math.isfinite(final_slope):
+            raise ValueError("final_slope must be finite; use cutoff for +inf tails")
+        if cutoff < xs_t[-1] - _EPS:
+            raise ValueError(f"cutoff {cutoff} lies before last breakpoint {xs_t[-1]}")
+        object.__setattr__(self, "_xs", xs_t)
+        object.__setattr__(self, "_ys", ys_t)
+        object.__setattr__(self, "_final_slope", float(final_slope))
+        object.__setattr__(self, "_cutoff", float(cutoff))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PiecewiseLinear instances are immutable")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def zero(cls) -> "PiecewiseLinear":
+        """The identically-zero function."""
+        return cls((0.0,), (0.0,), 0.0)
+
+    @classmethod
+    def constant_rate(cls, rate: float) -> "PiecewiseLinear":
+        """Service curve of a constant-rate link: ``S(t) = rate * t``."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        return cls((0.0,), (0.0,), rate)
+
+    @classmethod
+    def token_bucket(cls, rate: float, burst: float) -> "PiecewiseLinear":
+        """Leaky-bucket envelope ``E(t) = rate * t + burst`` (``E(0)=burst``).
+
+        Note: envelopes are conventionally evaluated for ``t > 0``; the value
+        at exactly ``t = 0`` is immaterial for all bounds computed here.
+        """
+        if rate < 0 or burst < 0:
+            raise ValueError("rate and burst must be >= 0")
+        return cls((0.0,), (burst,), rate)
+
+    @classmethod
+    def rate_latency(cls, rate: float, latency: float) -> "PiecewiseLinear":
+        """Rate-latency service curve ``S(t) = rate * max(0, t - latency)``."""
+        if rate < 0 or latency < 0:
+            raise ValueError("rate and latency must be >= 0")
+        if latency == 0:
+            return cls.constant_rate(rate)
+        return cls((0.0, latency), (0.0, 0.0), rate)
+
+    @classmethod
+    def delay(cls, d: float) -> "PiecewiseLinear":
+        """Pure-delay element ``delta_d`` (paper Eq. (4))."""
+        if d < 0:
+            raise ValueError(f"delay must be >= 0, got {d}")
+        return cls((0.0,), (0.0,), 0.0, cutoff=d)
+
+    @classmethod
+    def affine(cls, slope: float, intercept: float) -> "PiecewiseLinear":
+        """The affine function ``f(t) = slope * t + intercept``."""
+        return cls((0.0,), (float(intercept),), float(slope))
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[tuple[float, float]], final_slope: float = 0.0
+    ) -> "PiecewiseLinear":
+        """Build from a list of ``(x, y)`` pairs (must start at ``x = 0``)."""
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(xs, ys, final_slope)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        """Breakpoint abscissae (starting at 0)."""
+        return self._xs
+
+    @property
+    def ys(self) -> tuple[float, ...]:
+        """Breakpoint values."""
+        return self._ys
+
+    @property
+    def final_slope(self) -> float:
+        """Slope right of the last breakpoint (up to the cutoff)."""
+        return self._final_slope
+
+    @property
+    def cutoff(self) -> float:
+        """The function is ``+inf`` strictly beyond this abscissa."""
+        return self._cutoff
+
+    @property
+    def has_cutoff(self) -> bool:
+        """True if the function jumps to ``+inf`` at a finite time."""
+        return math.isfinite(self._cutoff)
+
+    def value_at_cutoff(self) -> float:
+        """Function value at the cutoff (the last finite value)."""
+        return self._eval_finite(min(self._cutoff, self._xs[-1])) + (
+            self._final_slope * max(0.0, self._cutoff - self._xs[-1])
+            if math.isfinite(self._cutoff)
+            else 0.0
+        )
+
+    def segments(self) -> list[Segment]:
+        """Decompose into linear segments; the last has infinite length
+        unless the function has a finite cutoff (then a final vertical
+        segment of infinite slope is appended)."""
+        segs: list[Segment] = []
+        for (x0, y0), (x1, y1) in zip(
+            zip(self._xs, self._ys), zip(self._xs[1:], self._ys[1:])
+        ):
+            segs.append(Segment(x1 - x0, (y1 - y0) / (x1 - x0)))
+        if self.has_cutoff:
+            tail = self._cutoff - self._xs[-1]
+            if tail > _EPS:
+                segs.append(Segment(tail, self._final_slope))
+            segs.append(Segment(math.inf, math.inf))
+        else:
+            segs.append(Segment(math.inf, self._final_slope))
+        return segs
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def _eval_finite(self, t: float) -> float:
+        """Evaluate ignoring the cutoff (t must be >= 0)."""
+        xs, ys = self._xs, self._ys
+        if t >= xs[-1]:
+            return ys[-1] + self._final_slope * (t - xs[-1])
+        # binary search for the bracketing interval
+        lo, hi = 0, len(xs) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if xs[mid] <= t:
+                lo = mid
+            else:
+                hi = mid
+        x0, y0, x1, y1 = xs[lo], ys[lo], xs[hi], ys[hi]
+        return y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+
+    def __call__(self, t: float) -> float:
+        """Evaluate at ``t``; returns 0 for ``t < 0`` and ``inf`` past the cutoff."""
+        if t < 0:
+            return 0.0
+        if t > self._cutoff + _EPS:
+            return math.inf
+        return self._eval_finite(min(t, self._cutoff))
+
+    def slope_at(self, t: float) -> float:
+        """Right-derivative at ``t >= 0`` (``inf`` at/after a finite cutoff)."""
+        if t < 0:
+            raise ValueError("slope_at requires t >= 0")
+        if t >= self._cutoff - _EPS and self.has_cutoff:
+            return math.inf
+        xs = self._xs
+        if t >= xs[-1]:
+            return self._final_slope
+        for (x0, x1), (y0, y1) in zip(
+            zip(xs, xs[1:]), zip(self._ys, self._ys[1:])
+        ):
+            if x0 <= t < x1:
+                return (y1 - y0) / (x1 - x0)
+        return self._final_slope
+
+    # ------------------------------------------------------------------ #
+    # structural predicates
+    # ------------------------------------------------------------------ #
+
+    def is_nondecreasing(self, tol: float = 1e-9) -> bool:
+        """True if the function never decreases."""
+        return all(seg.slope >= -tol for seg in self.segments())
+
+    def is_convex(self, tol: float = 1e-9) -> bool:
+        """True if slopes are nondecreasing along the curve (and there is no
+        downward jump; cutoffs are fine, they act as a final +inf slope)."""
+        slopes = [seg.slope for seg in self.segments()]
+        return all(b >= a - tol for a, b in zip(slopes, slopes[1:]))
+
+    def is_concave(self, tol: float = 1e-9) -> bool:
+        """True if slopes are nonincreasing (a finite cutoff breaks concavity)."""
+        if self.has_cutoff:
+            return False
+        slopes = [seg.slope for seg in self.segments()]
+        return all(b <= a + tol for a, b in zip(slopes, slopes[1:]))
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def shift_right(self, d: float) -> "PiecewiseLinear":
+        """Min-plus convolution with ``delta_d``: ``t -> f(t - d)``.
+
+        Requires ``f(0) == 0`` (otherwise the shift would create a jump
+        discontinuity that a piecewise-linear interpolation cannot represent
+        soundly).  All service curves in this library satisfy ``S(0) = 0``.
+        """
+        if d < 0:
+            raise ValueError("shift distance must be >= 0")
+        if d == 0:
+            return self
+        if self._ys[0] > _EPS:
+            raise ValueError(
+                "shift_right requires f(0) == 0; shifting a curve with a "
+                "positive origin value would create a discontinuity"
+            )
+        xs = [0.0, d] + [x + d for x in self._xs[1:]]
+        ys = [0.0, self._ys[0]] + list(self._ys[1:])
+        cutoff = self._cutoff + d if math.isfinite(self._cutoff) else math.inf
+        return PiecewiseLinear(xs, ys, self._final_slope, cutoff)
+
+    def add_constant(self, c: float) -> "PiecewiseLinear":
+        """Vertical shift ``t -> f(t) + c`` (result clipped at 0 if negative)."""
+        ys = [max(0.0, y + c) for y in self._ys]
+        return PiecewiseLinear(self._xs, ys, self._final_slope, self._cutoff)
+
+    def shift_left(self, d: float) -> "PiecewiseLinear":
+        """Exact left shift ``t -> f(t + d)`` for ``d >= 0`` (no cutoff).
+
+        The new origin value is ``f(d)``; breakpoints left of ``d`` drop out.
+        """
+        if d < 0:
+            raise ValueError("shift distance must be >= 0")
+        if self.has_cutoff:
+            raise ValueError("shift_left does not support cutoffs")
+        if d == 0:
+            return self
+        xs = [0.0]
+        ys = [self(d)]
+        for x, y in zip(self._xs, self._ys):
+            if x - d > _EPS:
+                xs.append(x - d)
+                ys.append(y)
+        return PiecewiseLinear(xs, ys, self._final_slope)
+
+    def translate(self, c: float) -> "PiecewiseLinear":
+        """Vertical shift ``t -> f(t) + c`` without clipping (values may go
+        negative; clip afterwards with :meth:`clip_nonnegative` if needed)."""
+        ys = [y + c for y in self._ys]
+        return PiecewiseLinear(self._xs, ys, self._final_slope, self._cutoff)
+
+    def flatten_left(self, x0: float) -> "PiecewiseLinear":
+        """Replace values left of ``x0`` by the constant ``f(x0)``.
+
+        Used by the leftover-service construction to express
+        ``inf_{s >= max(t, x0)} f(s)`` region curves.  Requires a finite
+        ``f(x0)``.
+        """
+        if x0 <= 0:
+            return self
+        level = self(x0)
+        if not math.isfinite(level):
+            raise ValueError(f"f({x0}) is not finite")
+        xs = [0.0, x0]
+        ys = [level, level]
+        for x, y in zip(self._xs, self._ys):
+            if x > x0 + _EPS:
+                xs.append(x)
+                ys.append(y)
+        return PiecewiseLinear(xs, ys, self._final_slope, self._cutoff)
+
+    def scale(self, factor: float) -> "PiecewiseLinear":
+        """Vertical scaling ``t -> factor * f(t)`` with ``factor >= 0``."""
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        ys = [factor * y for y in self._ys]
+        return PiecewiseLinear(self._xs, ys, factor * self._final_slope, self._cutoff)
+
+    def clip_nonnegative(self) -> "PiecewiseLinear":
+        """Pointwise ``max(f, 0)`` — the ``[.]_+`` operator of the paper.
+
+        Values within roundoff of zero are snapped to exactly zero so the
+        clipped plateau is genuinely flat (pseudo-inverses distinguish
+        flat segments from infinitesimally sloped ones).
+        """
+        from repro.algebra.operations import pointwise_max
+
+        clipped = pointwise_max(self, PiecewiseLinear.zero())
+        if any(0.0 < y < 1e-9 for y in clipped.ys):
+            ys = [0.0 if y < 1e-9 else y for y in clipped.ys]
+            return PiecewiseLinear(
+                clipped.xs, ys, clipped.final_slope, clipped.cutoff
+            )
+        return clipped
+
+    def nondecreasing_hull(self) -> "PiecewiseLinear":
+        """The largest nondecreasing function below ``f``:
+        ``hull(t) = inf_{s >= t} f(s)``.
+
+        Used to turn a momentarily-decreasing leftover curve into a valid
+        (sound, since smaller) service curve.  Requires ``final_slope >= 0``
+        and no cutoff (otherwise the infimum is degenerate).
+        """
+        if self.has_cutoff:
+            raise ValueError("nondecreasing_hull does not support cutoffs")
+        if self._final_slope < 0:
+            raise ValueError(
+                "nondecreasing_hull requires final_slope >= 0 "
+                f"(got {self._final_slope}); the infimum would be -inf"
+            )
+        if self.is_nondecreasing():
+            return self
+        # walk from the right: hull at x_i is min(f(x_i), hull at x_{i+1});
+        # on each interval the hull is min(f(t), next_hull), which adds a
+        # breakpoint where an increasing segment crosses next_hull
+        n = len(self._xs)
+        hull_vals = [0.0] * n
+        hull_vals[-1] = self._ys[-1]
+        points: list[tuple[float, float]] = [(self._xs[-1], self._ys[-1])]
+        for i in range(n - 2, -1, -1):
+            nxt = hull_vals[i + 1]
+            x0, y0 = self._xs[i], self._ys[i]
+            x1, y1 = self._xs[i + 1], self._ys[i + 1]
+            hull_vals[i] = min(y0, nxt)
+            if y0 <= nxt:
+                # segment may rise above the later minimum: crossing point
+                if y1 > nxt + _EPS and y1 > y0:
+                    cross = x0 + (nxt - y0) * (x1 - x0) / (y1 - y0)
+                    points.append((cross, nxt))
+                points.append((x0, y0))
+            else:
+                # hull is flat at nxt across this whole interval
+                points.append((x0, nxt))
+        points.sort()
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        # deduplicate abscissae
+        keep_x, keep_y = [xs[0]], [ys[0]]
+        for x, y in zip(xs[1:], ys[1:]):
+            if x - keep_x[-1] <= _EPS:
+                keep_y[-1] = min(keep_y[-1], y)
+            else:
+                keep_x.append(x)
+                keep_y.append(y)
+        return PiecewiseLinear(keep_x, keep_y, self._final_slope)
+
+    # ------------------------------------------------------------------ #
+    # inverse and deviations support
+    # ------------------------------------------------------------------ #
+
+    def inverse(self, y: float) -> float:
+        """Pseudo-inverse ``inf { t >= 0 : f(t) >= y }`` for nondecreasing f.
+
+        Returns ``math.inf`` if the level ``y`` is never reached.
+        """
+        if y <= self._ys[0]:
+            return 0.0
+        xs, ys = self._xs, self._ys
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            if y1 >= y:
+                if y1 == y0:
+                    return x1 if y > y0 else x0
+                return x0 + (y - y0) * (x1 - x0) / (y1 - y0)
+        # beyond the last breakpoint
+        if self._final_slope > 0:
+            t = xs[-1] + (y - ys[-1]) / self._final_slope
+            if t <= self._cutoff + _EPS:
+                return min(t, self._cutoff)
+        if self.has_cutoff:
+            # the function jumps to +inf just past the cutoff
+            return self._cutoff
+        return math.inf
+
+    def inverse_strict(self, y: float) -> float:
+        """Strict pseudo-inverse ``inf { t >= 0 : f(t) > y }`` (nondecreasing f).
+
+        Differs from :meth:`inverse` exactly where ``f`` has a flat segment
+        at level ``y``: the strict inverse lands at the right end of the
+        plateau.  Returns ``math.inf`` if ``f`` never exceeds ``y``.
+        """
+        tol = _EPS * max(1.0, abs(y))
+        xs, ys = self._xs, self._ys
+        if ys[0] > y + tol:
+            return 0.0
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            if y1 > y + tol:
+                if y0 >= y - tol:  # plateau at level y ends at x0
+                    return x0
+                return x0 + (y - y0) * (x1 - x0) / (y1 - y0)
+        if self._final_slope > 0:
+            t = xs[-1] + max(0.0, (y - ys[-1])) / self._final_slope
+            if t <= self._cutoff + _EPS:
+                return min(t, self._cutoff)
+        if self.has_cutoff:
+            return self._cutoff
+        return math.inf
+
+    def breakpoints_until(self, horizon: float) -> list[float]:
+        """All breakpoint abscissae (plus cutoff) not exceeding ``horizon``."""
+        points = [x for x in self._xs if x <= horizon]
+        if self.has_cutoff and self._cutoff <= horizon:
+            points.append(self._cutoff)
+        return points
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseLinear):
+            return NotImplemented
+        return (
+            self._xs == other._xs
+            and self._ys == other._ys
+            and self._final_slope == other._final_slope
+            and self._cutoff == other._cutoff
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._xs, self._ys, self._final_slope, self._cutoff))
+
+    def equals_approx(self, other: "PiecewiseLinear", tol: float = 1e-9) -> bool:
+        """Pointwise approximate equality on a probe grid (for tests)."""
+        horizon = max(
+            self._xs[-1],
+            other._xs[-1],
+            1.0,
+            self._cutoff if self.has_cutoff else 0.0,
+            other._cutoff if other.has_cutoff else 0.0,
+        ) * 2.0
+        probes = _merge_close(
+            list(self._xs)
+            + list(other._xs)
+            + [horizon, horizon / 3.0, horizon / 7.0]
+        )
+        for t in probes:
+            a, b = self(t), other(t)
+            if math.isinf(a) != math.isinf(b):
+                return False
+            if math.isfinite(a) and abs(a - b) > tol * max(1.0, abs(a), abs(b)):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({x:g}, {y:g})" for x, y in zip(self._xs, self._ys))
+        cut = f", cutoff={self._cutoff:g}" if self.has_cutoff else ""
+        return f"PiecewiseLinear([{pts}], final_slope={self._final_slope:g}{cut})"
+
+    # ------------------------------------------------------------------ #
+    # sampling (numeric fallbacks, plotting, simulation cross-checks)
+    # ------------------------------------------------------------------ #
+
+    def sample(self, ts: Iterable[float]) -> list[float]:
+        """Evaluate at each ``t`` in ``ts``."""
+        return [self(t) for t in ts]
+
+
+def as_callable(curve: "PiecewiseLinear | Callable[[float], float]") -> Callable[[float], float]:
+    """Accept either a :class:`PiecewiseLinear` or a plain callable."""
+    if isinstance(curve, PiecewiseLinear):
+        return curve
+    if callable(curve):
+        return curve
+    raise TypeError(f"expected a curve, got {curve!r}")

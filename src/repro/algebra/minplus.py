@@ -1,0 +1,324 @@
+"""Min-plus convolution, deconvolution, and deviations.
+
+The operators of the min-plus algebra used throughout the network calculus:
+
+* **convolution** ``(f * g)(t) = inf_{0<=s<=t} f(s) + g(t-s)`` — composes
+  service curves along a path (paper Sec. II-B);
+* **deconvolution** ``(f / g)(t) = sup_{u>=0} f(t+u) - g(u)`` — yields
+  output envelopes;
+* **horizontal deviation** ``h(E, S)`` — the worst-case delay bound of an
+  arrival envelope ``E`` through a service curve ``S``;
+* **vertical deviation** ``v(E, S)`` — the worst-case backlog bound.
+
+For piecewise-linear operands every operator here is *exact*:
+
+* convolution of convex curves by the classical slope-sorting construction
+  (segments concatenated in order of increasing slope);
+* convolution of concave curves by the endpoint rule
+  ``(f * g)(t) = min(f(t) + g(0), g(t) + f(0))``;
+* convolution with a pure-delay element ``delta_d`` by shifting;
+* deviations and deconvolution by breakpoint enumeration.
+
+A grid-based numeric convolution is provided as a fallback and as an
+independent cross-check for the exact algorithms (used heavily in tests).
+Note the numeric version evaluates the infimum over grid points only and is
+therefore an *upper* bound on the true convolution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.functions import PiecewiseLinear, Segment, _merge_close
+from repro.algebra.operations import pointwise_min
+
+_EPS = 1e-12
+
+
+def _as_delay(curve: PiecewiseLinear) -> float | None:
+    """Return ``d`` if ``curve`` is the pure-delay element ``delta_d``."""
+    if not curve.has_cutoff:
+        return None
+    if any(abs(y) > _EPS for y in curve.ys):
+        return None
+    if abs(curve.final_slope) > _EPS:
+        return None
+    return curve.cutoff
+
+
+def _convolve_convex(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Slope-sorting construction for convex piecewise-linear curves."""
+    segments: list[Segment] = f.segments() + g.segments()
+    segments.sort(key=lambda s: s.slope)
+    xs = [0.0]
+    ys = [f(0.0) + g(0.0)]
+    final_slope = 0.0
+    cutoff = math.inf
+    for seg in segments:
+        if math.isinf(seg.length):
+            if math.isinf(seg.slope):
+                cutoff = xs[-1]
+            else:
+                final_slope = seg.slope
+            break
+        if seg.length <= _EPS:
+            continue
+        xs.append(xs[-1] + seg.length)
+        ys.append(ys[-1] + seg.slope * seg.length)
+    # collapse consecutive collinear breakpoints
+    keep_x = [xs[0]]
+    keep_y = [ys[0]]
+    for i in range(1, len(xs)):
+        if len(keep_x) >= 2:
+            s_prev = (keep_y[-1] - keep_y[-2]) / (keep_x[-1] - keep_x[-2])
+            s_new = (ys[i] - keep_y[-1]) / (xs[i] - keep_x[-1])
+            if abs(s_prev - s_new) <= 1e-9 * max(1.0, abs(s_prev)):
+                keep_x[-1] = xs[i]
+                keep_y[-1] = ys[i]
+                continue
+        keep_x.append(xs[i])
+        keep_y.append(ys[i])
+    if len(keep_x) >= 2:
+        s_last = (keep_y[-1] - keep_y[-2]) / (keep_x[-1] - keep_x[-2])
+        if not math.isfinite(cutoff) and abs(s_last - final_slope) <= 1e-9 * max(
+            1.0, abs(final_slope)
+        ):
+            keep_x.pop()
+            keep_y.pop()
+    return PiecewiseLinear(keep_x, keep_y, final_slope, cutoff)
+
+
+def _flat_shift(curve: PiecewiseLinear, anchor: float, offset: float) -> PiecewiseLinear:
+    """The candidate curve ``t -> offset + curve(max(0, t - anchor))``.
+
+    Flat at ``offset + curve(0)`` on ``[0, anchor]``, then the shifted
+    curve.  Continuous by construction.
+    """
+    base_value = offset + curve.ys[0]
+    if anchor <= 0:
+        return PiecewiseLinear(
+            curve.xs, [y + offset for y in curve.ys], curve.final_slope
+        )
+    xs = [0.0, anchor] + [x + anchor for x in curve.xs[1:]]
+    ys = [base_value, base_value] + [y + offset for y in curve.ys[1:]]
+    return PiecewiseLinear(xs, ys, curve.final_slope)
+
+
+def _convolve_general(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact min-plus convolution of *general* nondecreasing finite curves.
+
+    For fixed ``t`` the inner function ``s -> f(s) + g(t - s)`` is
+    piecewise linear in ``s``, so its minimum over ``[0, t]`` is attained
+    at a breakpoint of ``f`` or at a point where ``t - s`` is a breakpoint
+    of ``g``.  Hence
+
+        ``(f * g)(t) = min_i [ f(x_i) + g(max(0, t - x_i)) ]
+                     ∧ min_j [ g(x_j) + f(max(0, t - x_j)) ]``
+
+    Each candidate is a flat-extended shifted copy of one operand.  The
+    flat extension (constant ``f(x_i) + g(0)`` left of the anchor) keeps
+    the candidate *above* the convolution there (monotonicity of ``f``),
+    so the pointwise minimum over all candidates equals the convolution
+    everywhere — including the crossing-induced breakpoints that pairwise
+    sums of operand breakpoints would miss.  O((|f| + |g|)^2) work.
+    """
+    if f.has_cutoff or g.has_cutoff:
+        raise ValueError("general convolution does not support cutoffs")
+    if not (f.is_nondecreasing() and g.is_nondecreasing()):
+        raise ValueError("general convolution requires nondecreasing curves")
+
+    result: PiecewiseLinear | None = None
+    for anchor_curve, moving_curve in ((f, g), (g, f)):
+        for x in anchor_curve.xs:
+            candidate = _flat_shift(moving_curve, x, anchor_curve(x))
+            result = (
+                candidate if result is None else pointwise_min(result, candidate)
+            )
+    assert result is not None
+    return result
+
+
+def convolve(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact min-plus convolution ``f * g`` of piecewise-linear curves.
+
+    Dispatches on shape:
+
+    * either operand a pure-delay element ``delta_d`` — shift;
+    * both convex — the classical slope-sorting construction;
+    * both concave with no cutoff — the endpoint rule;
+    * general nondecreasing finite curves — exact pairwise-breakpoint
+      enumeration (:func:`_convolve_general`).
+
+    Raises :class:`ValueError` only for curves with finite cutoffs that
+    are not pure-delay elements (those arise nowhere in the library).
+    """
+    d = _as_delay(f)
+    if d is not None:
+        return g.shift_right(d)
+    d = _as_delay(g)
+    if d is not None:
+        return f.shift_right(d)
+    if f.is_convex() and g.is_convex():
+        return _convolve_convex(f, g)
+    if f.is_concave() and g.is_concave():
+        return pointwise_min(f.add_constant(g(0.0)), g.add_constant(f(0.0)))
+    return _convolve_general(f, g)
+
+
+def convolve_numeric(
+    f: PiecewiseLinear,
+    g: PiecewiseLinear,
+    horizon: float,
+    dt: float,
+) -> PiecewiseLinear:
+    """Grid-based min-plus convolution on ``[0, horizon]`` with step ``dt``.
+
+    The infimum is taken over grid points only, so the result upper-bounds
+    the true convolution; shrink ``dt`` to tighten.  Values beyond the
+    horizon follow the sum of the final slopes.
+    """
+    if dt <= 0 or horizon <= 0:
+        raise ValueError("horizon and dt must be > 0")
+    steps = int(round(horizon / dt))
+    ts = [i * dt for i in range(steps + 1)]
+    ys: list[float] = []
+    for t in ts:
+        best = math.inf
+        s = 0.0
+        while s <= t + _EPS:
+            val = f(s) + g(t - s)
+            if val < best:
+                best = val
+            s += dt
+        ys.append(best)
+    final_slope = f.final_slope + g.final_slope
+    # drop non-finite tail values (inside a cutoff region nothing is inf)
+    if any(not math.isfinite(y) for y in ys):
+        cut_idx = next(i for i, y in enumerate(ys) if not math.isfinite(y))
+        if cut_idx == 0:
+            raise ValueError("convolution is +inf at t=0; invalid operands")
+        return PiecewiseLinear(
+            ts[:cut_idx], ys[:cut_idx], 0.0, cutoff=ts[cut_idx - 1]
+        )
+    return PiecewiseLinear(ts, ys, final_slope)
+
+
+def deconvolve_numeric(
+    f: PiecewiseLinear,
+    g: PiecewiseLinear,
+    *,
+    t_points: list[float] | None = None,
+) -> PiecewiseLinear:
+    """Min-plus deconvolution ``(f / g)(t) = sup_{u>=0} f(t+u) - g(u)``.
+
+    Exact for piecewise-linear operands when the supremum is finite: for
+    each ``t`` the inner function of ``u`` is piecewise linear with
+    breakpoints among ``g.xs`` and ``{x - t : x in f.xs}``, so evaluating at
+    those points (plus the tail) is exact.  Raises :class:`ValueError` when
+    ``f`` eventually grows faster than ``g`` (the deconvolution is infinite).
+    """
+    if f.final_slope > g.final_slope + _EPS and not g.has_cutoff:
+        raise ValueError(
+            "deconvolution diverges: f grows faster than g "
+            f"({f.final_slope} > {g.final_slope})"
+        )
+
+    def value_at(t: float) -> float:
+        candidates = [0.0]
+        candidates += [u for u in g.xs if u > 0]
+        if math.isfinite(g.cutoff):
+            candidates.append(g.cutoff)
+        candidates += [x - t for x in f.xs if x - t > 0]
+        # tail beyond the last candidate: slope f.final - g.final <= 0,
+        # so the last candidate dominates the tail
+        best = -math.inf
+        for u in candidates:
+            gu = g(u)
+            if not math.isfinite(gu):
+                continue
+            val = f(t + u) - gu
+            if val > best:
+                best = val
+        return best
+
+    if t_points is None:
+        raw = set(f.xs)
+        for xf in f.xs:
+            for xg in g.xs:
+                if xf - xg > 0:
+                    raw.add(xf - xg)
+            if math.isfinite(g.cutoff) and xf - g.cutoff > 0:
+                raw.add(xf - g.cutoff)
+        raw.add(0.0)
+        t_points = _merge_close(raw)
+    ys = [value_at(t) for t in t_points]
+    return PiecewiseLinear(t_points, ys, f.final_slope)
+
+
+def horizontal_deviation(envelope: PiecewiseLinear, service: PiecewiseLinear) -> float:
+    """Worst-case delay bound ``h(E, S) = sup_t inf {d : S(t+d) >= E(t)}``.
+
+    Exact for piecewise-linear curves: the inner infimum equals
+    ``S^{-1}(E(t)) - t`` (pseudo-inverse), which is piecewise linear in ``t``
+    between breakpoints of ``E`` and preimages of ``S``'s breakpoint levels,
+    so the supremum is attained at one of those candidates.  Returns
+    ``math.inf`` when the envelope eventually outgrows the service curve.
+    """
+    if not envelope.is_nondecreasing() or not service.is_nondecreasing():
+        raise ValueError("deviations require nondecreasing curves")
+    if envelope.final_slope > service.final_slope + _EPS and not service.has_cutoff:
+        return math.inf
+
+    candidates = list(envelope.xs)
+    # preimages (under E) of the service curve's breakpoint levels
+    levels = list(service.ys)
+    if service.has_cutoff:
+        levels.append(service.value_at_cutoff())
+    for level in levels:
+        t = envelope.inverse(level)
+        if math.isfinite(t):
+            candidates.append(t)
+    tail_probe = max(candidates) + 1.0
+    candidates.append(tail_probe)
+    candidates = _merge_close(candidates)
+
+    worst = 0.0
+    for t in candidates:
+        level = envelope(t)
+        reach = service.inverse(level)
+        if math.isinf(reach):
+            return math.inf
+        worst = max(worst, reach - t)
+        # where the envelope is strictly increasing, the deviation just
+        # right of t approaches the *strict* inverse — which differs from
+        # the plain pseudo-inverse exactly when the level sits on a flat
+        # segment of the service curve (e.g. a burst-free envelope against
+        # a rate-latency curve: the supremum is the latency, approached as
+        # t -> 0+ but never attained)
+        if envelope.slope_at(t) > _EPS:
+            reach_strict = service.inverse_strict(level)
+            if math.isinf(reach_strict):
+                return math.inf
+            worst = max(worst, reach_strict - t)
+    # equal tail slopes: the deviation is constant past the last candidate,
+    # already captured by tail_probe.
+    return max(0.0, worst)
+
+
+def vertical_deviation(envelope: PiecewiseLinear, service: PiecewiseLinear) -> float:
+    """Worst-case backlog bound ``v(E, S) = sup_t E(t) - S(t)`` (exact)."""
+    if not envelope.is_nondecreasing() or not service.is_nondecreasing():
+        raise ValueError("deviations require nondecreasing curves")
+    if envelope.final_slope > service.final_slope + _EPS and not service.has_cutoff:
+        return math.inf
+    candidates = list(envelope.xs) + list(service.xs)
+    if service.has_cutoff:
+        candidates.append(service.cutoff)
+    candidates.append(max(candidates) + 1.0)
+    worst = 0.0
+    for t in _merge_close(candidates):
+        s_val = service(t)
+        if math.isinf(s_val):
+            continue
+        worst = max(worst, envelope(t) - s_val)
+    return max(0.0, worst)

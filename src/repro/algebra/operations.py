@@ -1,0 +1,173 @@
+"""Exact pointwise operations on piecewise-linear curves.
+
+Pointwise minimum, maximum and sum of two :class:`PiecewiseLinear` curves
+are again piecewise linear; the breakpoints of the result are the union of
+the operands' breakpoints, their cutoffs, and the crossing points of the
+operands inside each interval (for min/max).  All three operations handle
+curves with finite cutoffs (``+inf`` tails):
+
+* ``f + g``  is ``+inf`` past ``min(cutoff_f, cutoff_g)``;
+* ``min(f, g)`` is ``+inf`` only past ``max(cutoff_f, cutoff_g)``;
+* ``max(f, g)`` is ``+inf`` past ``min(cutoff_f, cutoff_g)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.functions import PiecewiseLinear, _merge_close
+
+_EPS = 1e-12
+
+
+def _tail_slope(curve: PiecewiseLinear, t: float) -> float:
+    """Slope of ``curve`` at ``t`` ignoring the cutoff (finite everywhere)."""
+    xs = curve.xs
+    if t >= xs[-1] - _EPS:
+        return curve.final_slope
+    return curve.slope_at(t)
+
+
+def _grid(f: PiecewiseLinear, g: PiecewiseLinear, horizon: float) -> list[float]:
+    """Merged breakpoints of both curves (plus finite cutoffs) up to horizon."""
+    points = [x for x in f.xs if x <= horizon] + [x for x in g.xs if x <= horizon]
+    for c in (f.cutoff, g.cutoff):
+        if math.isfinite(c) and c <= horizon:
+            points.append(c)
+    points.append(0.0)
+    points.append(horizon)
+    return _merge_close(points)
+
+
+def _crossings(
+    f: PiecewiseLinear, g: PiecewiseLinear, grid: list[float]
+) -> list[float]:
+    """Crossing abscissae of f and g strictly inside each grid interval."""
+    found: list[float] = []
+    for a, b in zip(grid, grid[1:]):
+        fa, ga = f(a), g(a)
+        fb, gb = f(b), g(b)
+        if not all(map(math.isfinite, (fa, ga, fb, gb))):
+            continue
+        da, db = fa - ga, fb - gb
+        if (da > _EPS and db < -_EPS) or (da < -_EPS and db > _EPS):
+            found.append(a + (b - a) * abs(da) / (abs(da) + abs(db)))
+    return found
+
+
+def _tail_crossing(
+    f: PiecewiseLinear, g: PiecewiseLinear, start: float
+) -> float | None:
+    """Crossing of the affine tails of f and g past ``start`` (or None)."""
+    sf, sg = _tail_slope(f, start), _tail_slope(g, start)
+    if abs(sf - sg) <= _EPS:
+        return None
+    fv = f(start) if math.isfinite(f(start)) else None
+    gv = g(start) if math.isfinite(g(start)) else None
+    if fv is None or gv is None:
+        return None
+    u = (gv - fv) / (sf - sg)
+    if u > _EPS:
+        return start + u
+    return None
+
+
+def _combine(
+    f: PiecewiseLinear,
+    g: PiecewiseLinear,
+    op: str,
+) -> PiecewiseLinear:
+    if op == "add":
+        cutoff = min(f.cutoff, g.cutoff)
+    elif op == "min":
+        cutoff = max(f.cutoff, g.cutoff)
+        # the minimum has an (unrepresentable) upward jump where the curve
+        # with the earlier cutoff was strictly below the other one
+        first, second = (f, g) if f.cutoff <= g.cutoff else (g, f)
+        if first.cutoff < second.cutoff - _EPS:
+            at_cut = first.value_at_cutoff()
+            other = second(first.cutoff)
+            if math.isfinite(other) and at_cut < other - _EPS:
+                raise ValueError(
+                    "pointwise_min result jumps upward at the cutoff "
+                    f"t={first.cutoff:g} (from {at_cut:g} to {other:g}); "
+                    "piecewise-linear curves cannot represent this"
+                )
+    elif op == "max":
+        cutoff = min(f.cutoff, g.cutoff)
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown op {op!r}")
+
+    horizon = max(f.xs[-1], g.xs[-1], 1.0)
+    for c in (f.cutoff, g.cutoff):
+        if math.isfinite(c):
+            horizon = max(horizon, c)
+    if math.isfinite(cutoff):
+        horizon = min(horizon, cutoff)
+
+    grid = _grid(f, g, horizon)
+    if op in ("min", "max"):
+        grid = _merge_close(grid + _crossings(f, g, grid))
+        tail = _tail_crossing(f, g, grid[-1])
+        if tail is not None and (not math.isfinite(cutoff) or tail <= cutoff):
+            grid = _merge_close(grid + [tail])
+
+    def combine_values(a: float, b: float) -> float:
+        if op == "add":
+            return a + b
+        if op == "min":
+            return min(a, b)
+        return max(a, b)
+
+    ys = [combine_values(f(t), g(t)) for t in grid]
+    if any(not math.isfinite(y) for y in ys):  # pragma: no cover - guarded above
+        raise AssertionError("internal error: non-finite value inside cutoff region")
+
+    end = grid[-1]
+    sf, sg = _tail_slope(f, end), _tail_slope(g, end)
+    f_end, g_end = f(end), g(end)
+    if op == "add":
+        final_slope = sf + sg
+    else:
+        prefer_f: bool
+        if abs(f_end - g_end) <= _EPS * max(1.0, abs(f_end)):
+            prefer_f = (sf <= sg) if op == "min" else (sf >= sg)
+        else:
+            prefer_f = (f_end < g_end) if op == "min" else (f_end > g_end)
+        if op == "min" and f.cutoff < end + _EPS <= g.cutoff:
+            prefer_f = False
+        if op == "min" and g.cutoff < end + _EPS <= f.cutoff:
+            prefer_f = True
+        final_slope = sf if prefer_f else sg
+
+    return PiecewiseLinear(grid, ys, final_slope, cutoff)
+
+
+def pointwise_add(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact pointwise sum ``t -> f(t) + g(t)``."""
+    return _combine(f, g, "add")
+
+
+def pointwise_min(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact pointwise minimum ``t -> min(f(t), g(t))``."""
+    return _combine(f, g, "min")
+
+
+def pointwise_max(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact pointwise maximum ``t -> max(f(t), g(t))``."""
+    return _combine(f, g, "max")
+
+
+def pointwise_sub(f: PiecewiseLinear, g: PiecewiseLinear) -> PiecewiseLinear:
+    """Exact pointwise difference ``t -> f(t) - g(t)``.
+
+    Requires both operands finite (no cutoffs); the result may take
+    negative values (clip with :meth:`PiecewiseLinear.clip_nonnegative`
+    when the ``[.]_+`` operator is intended).
+    """
+    if f.has_cutoff or g.has_cutoff:
+        raise ValueError("pointwise_sub requires curves without cutoffs")
+    grid = _grid(f, g, max(f.xs[-1], g.xs[-1], 1.0))
+    ys = [f(t) - g(t) for t in grid]
+    final_slope = _tail_slope(f, grid[-1]) - _tail_slope(g, grid[-1])
+    return PiecewiseLinear(grid, ys, final_slope)

@@ -1,0 +1,59 @@
+"""Traffic models: deterministic and statistical envelopes, EBB, MMOO.
+
+This package implements Section II-A of the paper plus the concrete traffic
+model of the numerical examples (Section V):
+
+* :class:`DeterministicEnvelope` — sample-path envelopes ``E`` with
+  ``sup_s A(s,t) - E(t-s) <= 0`` (paper Eq. (1));
+* :class:`StatisticalEnvelope` — envelopes ``G`` with bounding function
+  ``eps(sigma)`` (paper Eq. (2));
+* :class:`EBB` — exponentially-bounded-burstiness arrival processes
+  ``A ~ (M, rho, alpha)`` (paper Eq. (27)) and their algebra;
+* :class:`MMOOParameters` — the discrete-time Markov-modulated on-off
+  source of Section V with its effective-bandwidth envelope;
+* sample-path generators used by the simulator (:mod:`repro.simulation`).
+"""
+
+from repro.arrivals.envelopes import (
+    DeterministicEnvelope,
+    leaky_bucket,
+    multi_leaky_bucket,
+    smallest_envelope,
+)
+from repro.arrivals.statistical import (
+    BoundingFunction,
+    ExponentialBound,
+    StatisticalEnvelope,
+    combine_bounds,
+)
+from repro.arrivals.ebb import EBB, aggregate_ebb
+from repro.arrivals.markov import MarkovModulatedSource
+from repro.arrivals.shaper import ShapedSource, shape_to_leaky_bucket
+from repro.arrivals.mmoo import MMOOParameters
+from repro.arrivals.processes import (
+    cbr_arrivals,
+    mmoo_aggregate_arrivals,
+    mmoo_per_flow_arrivals,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "DeterministicEnvelope",
+    "leaky_bucket",
+    "multi_leaky_bucket",
+    "smallest_envelope",
+    "BoundingFunction",
+    "ExponentialBound",
+    "StatisticalEnvelope",
+    "combine_bounds",
+    "EBB",
+    "aggregate_ebb",
+    "MMOOParameters",
+    "MarkovModulatedSource",
+    "ShapedSource",
+    "shape_to_leaky_bucket",
+    "cbr_arrivals",
+    "mmoo_aggregate_arrivals",
+    "mmoo_per_flow_arrivals",
+    "poisson_arrivals",
+]

@@ -1,0 +1,159 @@
+"""Deterministic sample-path envelopes (paper Eq. (1)).
+
+A deterministic envelope ``E`` upper-bounds the arrivals of a flow over
+every interval: ``A(s, t) <= E(t - s)`` for all ``s <= t``.  The canonical
+example is the leaky bucket ``E(t) = R t + B``.
+
+Besides the envelope wrapper itself this module provides
+:func:`smallest_envelope`, which computes the minimal (subadditive)
+envelope of a recorded arrival sample path — used by the tests to verify
+that generated traffic indeed conforms to its claimed envelope, and by
+Theorem 2's necessity construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.operations import pointwise_min
+from repro.utils.validation import check_non_negative
+
+
+class DeterministicEnvelope:
+    """A deterministic sample-path envelope ``E`` (paper Eq. (1)).
+
+    Wraps a nondecreasing :class:`PiecewiseLinear` curve and adds the
+    envelope-specific operations: conformance checking of sample paths,
+    aggregation, and concavity queries (Theorem 2's tightness requires
+    concave envelopes).
+
+    By convention ``E(t) = 0`` for ``t <= 0`` and envelopes are evaluated
+    for ``t > 0``.
+    """
+
+    __slots__ = ("_curve",)
+
+    def __init__(self, curve: PiecewiseLinear) -> None:
+        if not curve.is_nondecreasing():
+            raise ValueError("an envelope must be nondecreasing")
+        if curve.has_cutoff:
+            raise ValueError("an envelope must be finite for all t")
+        self._curve = curve
+
+    @property
+    def curve(self) -> PiecewiseLinear:
+        """The underlying piecewise-linear curve."""
+        return self._curve
+
+    @property
+    def rate(self) -> float:
+        """Long-term rate (the final slope of the curve)."""
+        return self._curve.final_slope
+
+    @property
+    def burst(self) -> float:
+        """Instantaneous burst allowance ``E(0+)``."""
+        return self._curve.ys[0]
+
+    def __call__(self, t: float) -> float:
+        """Evaluate the envelope; 0 for ``t <= 0`` (paper convention)."""
+        if t <= 0:
+            return 0.0
+        return self._curve(t)
+
+    def is_concave(self) -> bool:
+        """Concavity of the curve on ``t > 0`` (needed for Theorem 2)."""
+        return self._curve.is_concave()
+
+    def conforms(self, increments: Sequence[float], *, tol: float = 1e-9) -> bool:
+        """Check that a discrete-time sample path satisfies Eq. (1).
+
+        ``increments[i]`` is the traffic arriving in slot ``i``; the check is
+        ``A(s, t) <= E(t - s)`` for all ``0 <= s < t <= len(increments)``.
+        """
+        arr = np.asarray(increments, dtype=float)
+        if np.any(arr < -tol):
+            raise ValueError("arrival increments must be nonnegative")
+        cum = np.concatenate([[0.0], np.cumsum(arr)])
+        n = len(cum)
+        for width in range(1, n):
+            window = cum[width:] - cum[:-width]
+            if float(window.max(initial=0.0)) > self(width) + tol:
+                return False
+        return True
+
+    def worst_violation(self, increments: Sequence[float]) -> float:
+        """Largest ``A(s,t) - E(t-s)`` over all intervals (<= 0 if conformant)."""
+        arr = np.asarray(increments, dtype=float)
+        cum = np.concatenate([[0.0], np.cumsum(arr)])
+        n = len(cum)
+        worst = -math.inf
+        for width in range(1, n):
+            window = cum[width:] - cum[:-width]
+            worst = max(worst, float(window.max(initial=-math.inf)) - self(width))
+        return worst
+
+    def aggregate(self, other: "DeterministicEnvelope") -> "DeterministicEnvelope":
+        """Envelope of the superposition of two flows (pointwise sum)."""
+        from repro.algebra.operations import pointwise_add
+
+        return DeterministicEnvelope(pointwise_add(self._curve, other.curve))
+
+    def scale(self, n: int) -> "DeterministicEnvelope":
+        """Envelope of ``n`` homogeneous flows (vertical scaling)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return DeterministicEnvelope(self._curve.scale(float(n)))
+
+    def __repr__(self) -> str:
+        return f"DeterministicEnvelope({self._curve!r})"
+
+
+def leaky_bucket(rate: float, burst: float) -> DeterministicEnvelope:
+    """Leaky-bucket envelope ``E(t) = rate * t + burst`` for ``t > 0``."""
+    check_non_negative(rate, "rate")
+    check_non_negative(burst, "burst")
+    return DeterministicEnvelope(PiecewiseLinear.token_bucket(rate, burst))
+
+
+def multi_leaky_bucket(
+    buckets: Sequence[tuple[float, float]]
+) -> DeterministicEnvelope:
+    """Concave envelope ``min_i (rate_i * t + burst_i)`` from several buckets.
+
+    The minimum of affine functions is concave, so the result always meets
+    Theorem 2's tightness hypothesis.
+    """
+    if not buckets:
+        raise ValueError("need at least one (rate, burst) pair")
+    curve: PiecewiseLinear | None = None
+    for rate, burst in buckets:
+        check_non_negative(rate, "rate")
+        check_non_negative(burst, "burst")
+        piece = PiecewiseLinear.token_bucket(rate, burst)
+        curve = piece if curve is None else pointwise_min(curve, piece)
+    assert curve is not None
+    return DeterministicEnvelope(curve)
+
+
+def smallest_envelope(increments: Sequence[float]) -> list[float]:
+    """Minimal envelope of a discrete sample path: ``E[k] = max_s A(s, s+k)``.
+
+    Returns ``E[0..n]`` with ``E[0] = 0``.  The result is subadditive (the
+    paper's remark after Theorem 2: minimal envelopes are subadditive and
+    hence well approximated by concave functions).
+    """
+    arr = np.asarray(increments, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("arrival increments must be nonnegative")
+    cum = np.concatenate([[0.0], np.cumsum(arr)])
+    n = len(arr)
+    env = [0.0]
+    for width in range(1, n + 1):
+        window = cum[width:] - cum[:-width]
+        env.append(float(window.max(initial=0.0)))
+    return env

@@ -1,0 +1,176 @@
+"""Statistical sample-path envelopes and bounding functions (paper Eq. (2)).
+
+A statistical sample-path envelope ``G`` with bounding function
+``eps(sigma)`` satisfies, for all ``t, sigma >= 0``::
+
+    P( sup_{0<=s<=t} { A(s,t) - G(t-s) } > sigma ) <= eps(sigma)
+
+The workhorse bounding function is the exponential
+``eps(sigma) = M exp(-alpha sigma)`` (:class:`ExponentialBound`): it is
+closed under the optimal union-bound combination of the paper's Eq. (33)
+(see :func:`combine_bounds`), which is what makes the multi-node analysis
+of Section IV tractable in closed form.
+
+An exponential bound is a *valid* probability bound for every real
+``sigma`` — for ``sigma < (ln M)/alpha`` it simply exceeds 1 — which is why
+the infimum in Eq. (33) may be taken over unconstrained splits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.utils.numeric import weighted_union_bound_constant
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ExponentialBound:
+    """Bounding function ``eps(sigma) = M exp(-alpha sigma)``.
+
+    Parameters
+    ----------
+    prefactor:
+        ``M >= 0``.  ``M = 0`` encodes the deterministic (never violated)
+        case.
+    decay:
+        ``alpha > 0``, the exponential decay rate.
+    """
+
+    prefactor: float
+    decay: float
+
+    def __post_init__(self) -> None:
+        if self.prefactor < 0:
+            raise ValueError(f"prefactor must be >= 0, got {self.prefactor}")
+        check_positive(self.decay, "decay")
+
+    def __call__(self, sigma: float) -> float:
+        """Raw bound value (may exceed 1; see :meth:`probability`)."""
+        return self.prefactor * math.exp(-self.decay * sigma)
+
+    def probability(self, sigma: float) -> float:
+        """The bound clipped to a valid probability in [0, 1]."""
+        return min(1.0, self(sigma))
+
+    def inverse(self, epsilon: float) -> float:
+        """Smallest ``sigma`` with ``eps(sigma) <= epsilon``.
+
+        This is the violation threshold used when a target violation
+        probability is prescribed (e.g. ``1e-9`` in the paper's examples).
+        """
+        check_probability(epsilon, "epsilon")
+        if epsilon == 0.0:
+            raise ValueError("epsilon must be > 0 for a finite threshold")
+        if self.prefactor == 0.0:
+            return 0.0
+        return max(0.0, math.log(self.prefactor / epsilon) / self.decay)
+
+    def is_deterministic(self) -> bool:
+        """True when the bound is identically zero (never violated)."""
+        return self.prefactor == 0.0
+
+    def integral_is_finite(self) -> bool:
+        """Whether ``int_0^inf eps(x) dx < inf`` — the prerequisite for the
+        statistical network service curve of [6] used in Eq. (30)."""
+        return True  # exponentials always integrate finitely
+
+
+def combine_bounds(bounds: Sequence[ExponentialBound]) -> ExponentialBound:
+    """Optimal union-bound combination (paper Eq. (33)).
+
+    Returns the exponential bound ``eps`` with
+    ``eps(sigma) = inf { sum_j eps_j(sigma_j) : sum_j sigma_j = sigma }``.
+    Deterministic members (prefactor 0) are dropped — they never contribute
+    a violation.  If all members are deterministic the result is
+    deterministic (represented with prefactor 0 and decay 1).
+    """
+    live = [b for b in bounds if not b.is_deterministic()]
+    if not live:
+        return ExponentialBound(0.0, 1.0)
+    if len(live) == 1:
+        return live[0]
+    prefactor, decay = weighted_union_bound_constant(
+        [b.prefactor for b in live], [b.decay for b in live]
+    )
+    return ExponentialBound(prefactor, decay)
+
+
+class StatisticalEnvelope:
+    """A statistical sample-path envelope ``(G, eps)`` (paper Eq. (2)).
+
+    Parameters
+    ----------
+    curve:
+        The envelope function ``G`` (nondecreasing, ``G(t) = 0`` for
+        ``t <= 0`` by convention).
+    bound:
+        The bounding function ``eps(sigma)`` — an
+        :class:`ExponentialBound` or any callable.  Exponential bounds
+        unlock the closed-form combinations used by the end-to-end
+        analysis.
+    """
+
+    __slots__ = ("_curve", "_bound")
+
+    def __init__(
+        self,
+        curve: PiecewiseLinear,
+        bound: ExponentialBound | Callable[[float], float],
+    ) -> None:
+        if not curve.is_nondecreasing():
+            raise ValueError("a statistical envelope must be nondecreasing")
+        if curve.has_cutoff:
+            raise ValueError("a statistical envelope must be finite")
+        self._curve = curve
+        self._bound = bound
+
+    @property
+    def curve(self) -> PiecewiseLinear:
+        """The envelope function ``G``."""
+        return self._curve
+
+    @property
+    def bound(self) -> ExponentialBound | Callable[[float], float]:
+        """The bounding function ``eps``."""
+        return self._bound
+
+    @property
+    def rate(self) -> float:
+        """Long-term envelope rate."""
+        return self._curve.final_slope
+
+    def __call__(self, t: float) -> float:
+        """Evaluate ``G``; 0 for ``t <= 0``."""
+        if t <= 0:
+            return 0.0
+        return self._curve(t)
+
+    def epsilon(self, sigma: float) -> float:
+        """Violation-probability bound at slack ``sigma`` (clipped to [0,1])."""
+        if isinstance(self._bound, ExponentialBound):
+            return self._bound.probability(sigma)
+        return min(1.0, max(0.0, self._bound(sigma)))
+
+    def exponential_bound(self) -> ExponentialBound:
+        """The bound as an :class:`ExponentialBound`, or raise."""
+        if not isinstance(self._bound, ExponentialBound):
+            raise TypeError(
+                "this envelope does not carry an exponential bounding function"
+            )
+        return self._bound
+
+    @classmethod
+    def deterministic(cls, curve: PiecewiseLinear) -> "StatisticalEnvelope":
+        """Embed a deterministic envelope (eps = 0; paper Sec. II-A)."""
+        return cls(curve, ExponentialBound(0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return f"StatisticalEnvelope(rate={self.rate:g}, bound={self._bound!r})"
+
+
+# alias matching common network-calculus terminology
+BoundingFunction = ExponentialBound

@@ -1,0 +1,37 @@
+"""Reproductions of the paper's numerical examples (Section V).
+
+One module per figure:
+
+* :mod:`repro.experiments.example1` — Fig. 2: end-to-end delay bounds vs.
+  total utilization, H in {2, 5, 10}, schedulers BMUX / FIFO / EDF;
+* :mod:`repro.experiments.example2` — Fig. 3: bounds vs. traffic mix
+  ``U_c / U`` at constant U = 50%, EDF with short and long through
+  deadlines;
+* :mod:`repro.experiments.example3` — Fig. 4: bounds vs. path length at
+  U in {10, 50, 90}%, including the additive per-node BMUX baseline;
+* :mod:`repro.experiments.validation` — added experiment: simulated delay
+  quantiles against the analytic bounds.
+
+Each experiment returns plain row records and can print the series the
+paper's figures plot; the benchmark harness under ``benchmarks/``
+regenerates every figure through these entry points.
+"""
+
+from repro.experiments.config import PaperSetting, paper_setting
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+from repro.experiments.example3 import run_example3
+from repro.experiments.validation import run_validation
+from repro.experiments.runner import ExperimentRow, format_table, rows_to_csv
+
+__all__ = [
+    "PaperSetting",
+    "paper_setting",
+    "run_example1",
+    "run_example2",
+    "run_example3",
+    "run_validation",
+    "ExperimentRow",
+    "format_table",
+    "rows_to_csv",
+]

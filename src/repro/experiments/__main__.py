@@ -1,0 +1,119 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments fig2 [--full] [--csv out.csv]
+    python -m repro.experiments fig3 --hops 2 5
+    python -m repro.experiments fig4 --utilizations 0.5
+    python -m repro.experiments validation --slots 30000
+
+Each command regenerates one of the paper's figures (or the added
+validation experiment) and prints the series as a table; ``--csv`` also
+writes machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+from repro.experiments.example3 import run_example3
+from repro.experiments.runner import format_table, rows_to_csv
+from repro.experiments.validation import format_validation, run_validation
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full optimization grids (slower, <1%% tighter)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="also write the rows as CSV"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of 'Does Link Scheduling "
+        "Matter on Long Paths?' (ICDCS 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("fig2", help="Example 1: bounds vs. utilization")
+    p2.add_argument("--hops", type=int, nargs="+", default=[2, 5, 10])
+    p2.add_argument(
+        "--utilizations", type=float, nargs="+",
+        default=[0.20, 0.35, 0.50, 0.65, 0.80, 0.95],
+    )
+    _add_common(p2)
+
+    p3 = sub.add_parser("fig3", help="Example 2: bounds vs. traffic mix")
+    p3.add_argument("--hops", type=int, nargs="+", default=[2, 5, 10])
+    p3.add_argument(
+        "--mixes", type=float, nargs="+", default=[0.1, 0.3, 0.5, 0.7, 0.9]
+    )
+    _add_common(p3)
+
+    p4 = sub.add_parser("fig4", help="Example 3: bounds vs. path length")
+    p4.add_argument("--hops", type=int, nargs="+", default=[1, 2, 4, 6, 8, 10])
+    p4.add_argument(
+        "--utilizations", type=float, nargs="+", default=[0.10, 0.50, 0.90]
+    )
+    _add_common(p4)
+
+    pv = sub.add_parser("validation", help="bounds vs. simulated quantiles")
+    pv.add_argument("--hops", type=int, nargs="+", default=[1, 2])
+    pv.add_argument("--slots", type=int, default=20_000)
+    pv.add_argument("--utilization", type=float, default=0.90)
+    pv.add_argument("--epsilon", type=float, default=1e-3)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig2":
+        rows = run_example1(
+            utilizations=tuple(args.utilizations),
+            hops=tuple(args.hops),
+            quick=not args.full,
+        )
+        print(format_table(rows, x_label="U [%]"))
+    elif args.command == "fig3":
+        rows = run_example2(
+            mixes=tuple(args.mixes), hops=tuple(args.hops),
+            quick=not args.full,
+        )
+        print(format_table(rows, x_label="Uc/U"))
+    elif args.command == "fig4":
+        rows = run_example3(
+            hops=tuple(args.hops),
+            utilizations=tuple(args.utilizations),
+            quick=not args.full,
+        )
+        print(format_table(rows, x_label="H"))
+    else:  # validation
+        cells = run_validation(
+            hops=tuple(args.hops),
+            utilization=args.utilization,
+            epsilon=args.epsilon,
+            slots=args.slots,
+        )
+        print(format_validation(cells))
+        return 0 if all(cell.sound for cell in cells) else 1
+
+    if getattr(args, "csv", None):
+        with open(args.csv, "w") as handle:
+            handle.write(rows_to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

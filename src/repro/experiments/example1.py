@@ -1,0 +1,83 @@
+"""Example 1 (paper Fig. 2): delay bounds vs. total utilization.
+
+Setting: the through aggregate is fixed at ``N_0 = 100`` flows
+(``U_0 = 15%``); the per-node cross aggregate grows so the total
+utilization sweeps ``20% <= U <= 95%``; path lengths ``H in {2, 5, 10}``;
+``eps = 1e-9``.  Schedulers: BMUX (reference), FIFO, and EDF with
+``d*_0 = d_e2e/H`` and ``d*_c = 10 d_e2e/H`` (through traffic favored;
+the deadlines are a fixed point of the resulting bound).
+
+Expected shape (paper's reading of Fig. 2): bounds grow with ``U`` and
+blow up toward saturation; FIFO is indistinguishable from BMUX as early
+as ``H = 5``; EDF is noticeably lower, with the gap growing in ``H``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.runner import ExperimentRow
+from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+
+#: The through-aggregate size of Example 1 (U_0 = 15%).
+N_THROUGH = 100
+
+DEFAULT_UTILIZATIONS = (0.20, 0.35, 0.50, 0.65, 0.80, 0.95)
+DEFAULT_HOPS = (2, 5, 10)
+SCHEDULERS = ("BMUX", "FIFO", "EDF")
+
+
+def run_example1(
+    *,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> list[ExperimentRow]:
+    """Compute the Fig. 2 series.
+
+    Returns one row per (scheduler, H, U) cell; the series label is
+    ``"<scheduler> H=<H>"`` and ``x`` is the total utilization in percent.
+    """
+    setting = setting or paper_setting()
+    grid = grids(quick)
+    rows: list[ExperimentRow] = []
+    for h in hops:
+        for utilization in utilizations:
+            n_total = setting.flows_for_utilization(utilization)
+            n_cross = max(n_total - N_THROUGH, 0)
+            for scheduler in schedulers:
+                if scheduler == "EDF":
+                    result, delta = e2e_delay_bound_edf(
+                        setting.traffic, N_THROUGH, n_cross, h,
+                        setting.capacity, setting.epsilon,
+                        deadline_weight_through=1.0,
+                        deadline_weight_cross=10.0,
+                        **grid,
+                    )
+                    extra = {"delta": delta}
+                else:
+                    delta = math.inf if scheduler == "BMUX" else 0.0
+                    result = e2e_delay_bound_mmoo(
+                        setting.traffic, N_THROUGH, n_cross, h,
+                        setting.capacity, delta, setting.epsilon,
+                        **grid,
+                    )
+                    extra = {"delta": delta}
+                rows.append(
+                    ExperimentRow(
+                        series=f"{scheduler} H={h}",
+                        x=utilization * 100.0,
+                        delay=result.delay,
+                        extra={
+                            **extra,
+                            "gamma": result.gamma,
+                            "alpha": result.alpha,
+                            "sigma": result.sigma,
+                        },
+                    )
+                )
+    return rows

@@ -1,0 +1,83 @@
+"""Example 2 (paper Fig. 3): delay bounds vs. traffic mix at constant U.
+
+Setting: total utilization fixed at ``U = 50%``; the mix ``U_c / U``
+(fraction contributed by cross traffic) sweeps across (0, 1); path
+lengths ``H in {2, 5, 10}``.  Schedulers: BMUX, FIFO, and EDF in two
+variants — *short* through deadlines (``d*_0 = d*_c / 2``, through
+favored) and *long* through deadlines (``d*_0 = 2 d*_c``, through
+penalized).
+
+Expected shape (paper's reading of Fig. 3): although U is constant, the
+bounds depend on the mix; EDF-short is almost insensitive to the mix at
+``H = 2`` (and can even *decrease* with more cross traffic); a larger
+``d*_0/d*_c`` ratio makes the bound more sensitive to cross traffic; as
+``H`` grows all Delta-schedulers drift toward BMUX-like behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.runner import ExperimentRow
+from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+
+DEFAULT_MIXES = (0.1, 0.3, 0.5, 0.7, 0.9)
+DEFAULT_HOPS = (2, 5, 10)
+SCHEDULERS = ("BMUX", "FIFO", "EDF short", "EDF long")
+
+#: Deadline-weight pairs (w_through, w_cross) of the two EDF variants:
+#: "short" means the through deadline is half the cross deadline.
+EDF_WEIGHTS = {"EDF short": (1.0, 2.0), "EDF long": (2.0, 1.0)}
+
+TOTAL_UTILIZATION = 0.50
+
+
+def run_example2(
+    *,
+    mixes: Sequence[float] = DEFAULT_MIXES,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> list[ExperimentRow]:
+    """Compute the Fig. 3 series.
+
+    ``x`` is the cross-traffic share ``U_c / U``; the series label is
+    ``"<scheduler> H=<H>"``.
+    """
+    setting = setting or paper_setting()
+    grid = grids(quick)
+    n_total = setting.flows_for_utilization(TOTAL_UTILIZATION)
+    rows: list[ExperimentRow] = []
+    for h in hops:
+        for mix in mixes:
+            n_cross = round(mix * n_total)
+            n_through = max(n_total - n_cross, 1)
+            for scheduler in schedulers:
+                if scheduler in EDF_WEIGHTS:
+                    w_through, w_cross = EDF_WEIGHTS[scheduler]
+                    result, delta = e2e_delay_bound_edf(
+                        setting.traffic, n_through, n_cross, h,
+                        setting.capacity, setting.epsilon,
+                        deadline_weight_through=w_through,
+                        deadline_weight_cross=w_cross,
+                        **grid,
+                    )
+                else:
+                    delta = math.inf if scheduler == "BMUX" else 0.0
+                    result = e2e_delay_bound_mmoo(
+                        setting.traffic, n_through, n_cross, h,
+                        setting.capacity, delta, setting.epsilon,
+                        **grid,
+                    )
+                rows.append(
+                    ExperimentRow(
+                        series=f"{scheduler} H={h}",
+                        x=mix,
+                        delay=result.delay,
+                        extra={"delta": delta, "gamma": result.gamma},
+                    )
+                )
+    return rows

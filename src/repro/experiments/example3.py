@@ -1,0 +1,87 @@
+"""Example 3 (paper Fig. 4): delay bounds vs. path length.
+
+Setting: equal through and cross aggregates (``N_0 = N_c``), total
+utilization ``U in {10, 50, 90}%`` (the figure caption; the body's "100%"
+is a typo — a saturated link has no finite bounds); path length sweeps
+``H``.  Series: BMUX, FIFO, EDF (``d*_0 = d_e2e/H``,
+``d*_c = 10 d_e2e/H``) computed with the network service curve, plus the
+**additive** BMUX baseline that sums per-node bounds.
+
+Expected shape (paper's reading of Fig. 4): the network-service-curve
+bounds grow essentially linearly in ``H`` (the predicted
+``Theta(H log H)``); the additive baseline is far looser and grows like
+``O(H^3 log H)``; FIFO and BMUX appear identical across the whole range
+while EDF stays noticeably lower at higher utilizations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.runner import ExperimentRow
+from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+from repro.network.pernode import additive_pernode_delay_bound_mmoo
+
+DEFAULT_HOPS = (1, 2, 4, 6, 8, 10)
+DEFAULT_UTILIZATIONS = (0.10, 0.50, 0.90)
+SCHEDULERS = ("BMUX", "FIFO", "EDF", "BMUX additive")
+
+
+def run_example3(
+    *,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> list[ExperimentRow]:
+    """Compute the Fig. 4 series.
+
+    ``x`` is the path length ``H``; the series label is
+    ``"<scheduler> U=<U>%"``.
+    """
+    setting = setting or paper_setting()
+    grid = grids(quick)
+    rows: list[ExperimentRow] = []
+    for utilization in utilizations:
+        n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
+        for h in hops:
+            for scheduler in schedulers:
+                if scheduler == "EDF":
+                    result, _ = e2e_delay_bound_edf(
+                        setting.traffic, n_half, n_half, h,
+                        setting.capacity, setting.epsilon,
+                        deadline_weight_through=1.0,
+                        deadline_weight_cross=10.0,
+                        **grid,
+                    )
+                    delay = result.delay
+                    gamma = result.gamma
+                elif scheduler == "BMUX additive":
+                    additive = additive_pernode_delay_bound_mmoo(
+                        setting.traffic, n_half, n_half, h,
+                        setting.capacity, setting.epsilon,
+                        **grid,
+                    )
+                    delay = additive.delay
+                    gamma = additive.gamma
+                else:
+                    delta = math.inf if scheduler == "BMUX" else 0.0
+                    result = e2e_delay_bound_mmoo(
+                        setting.traffic, n_half, n_half, h,
+                        setting.capacity, delta, setting.epsilon,
+                        **grid,
+                    )
+                    delay = result.delay
+                    gamma = result.gamma
+                rows.append(
+                    ExperimentRow(
+                        series=f"{scheduler} U={utilization * 100:.0f}%",
+                        x=float(h),
+                        delay=delay,
+                        extra={"gamma": gamma},
+                    )
+                )
+    return rows

@@ -1,0 +1,67 @@
+"""Row records and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One data point of a figure: a series label, an x value, a bound."""
+
+    series: str
+    x: float
+    delay: float
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+
+def format_table(
+    rows: Sequence[ExperimentRow],
+    *,
+    x_label: str = "x",
+    value_label: str = "delay bound [ms]",
+) -> str:
+    """Render rows as a text table: one column per series, one line per x.
+
+    Mirrors how the paper's figures would be read off: each series is one
+    plotted curve.
+    """
+    series_names = sorted({row.series for row in rows})
+    xs = sorted({row.x for row in rows})
+    cell: dict[tuple[float, str], float] = {
+        (row.x, row.series): row.delay for row in rows
+    }
+    out = io.StringIO()
+    width = max(12, max((len(s) for s in series_names), default=12) + 2)
+    header = f"{x_label:>10} " + "".join(f"{name:>{width}}" for name in series_names)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for x in xs:
+        line = f"{x:>10.3g} "
+        for name in series_names:
+            value = cell.get((x, name), math.nan)
+            if math.isnan(value):
+                line += f"{'-':>{width}}"
+            elif math.isinf(value):
+                line += f"{'inf':>{width}}"
+            else:
+                line += f"{value:>{width}.2f}"
+        out.write(line + "\n")
+    out.write(f"(values: {value_label})\n")
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Iterable[ExperimentRow]) -> str:
+    """Serialize rows to CSV (series, x, delay, extras flattened)."""
+    rows = list(rows)
+    extra_keys = sorted({k for row in rows for k in row.extra})
+    out = io.StringIO()
+    out.write(",".join(["series", "x", "delay"] + extra_keys) + "\n")
+    for row in rows:
+        values = [row.series, f"{row.x:g}", f"{row.delay:g}"]
+        values += [f"{row.extra.get(k, math.nan):g}" for k in extra_keys]
+        out.write(",".join(values) + "\n")
+    return out.getvalue()

@@ -1,0 +1,110 @@
+"""Added experiment V1: analytic bounds vs. simulated delay quantiles.
+
+The paper has no measurement substrate; this experiment supplies one.
+For a grid of (scheduler, path length) cells at high utilization (where
+queueing is actually visible) it reports the analytic end-to-end bound at
+``eps`` next to the simulated ``(1 - eps)``-delay-quantile of the through
+traffic.  Soundness requires quantile <= bound (up to the simulator's
+store-and-forward slack of one slot per extra hop); the gap quantifies
+the bounds' conservatism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.network.e2e import e2e_delay_bound_mmoo
+from repro.simulation.engine import SimulationConfig, simulate_tandem_mmoo
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One validation cell: analytic bound vs. empirical quantile."""
+
+    scheduler: str
+    hops: int
+    utilization: float
+    bound: float
+    simulated_quantile: float
+    simulated_max: float
+    slack_allowed: float
+
+    @property
+    def sound(self) -> bool:
+        """Did the analytic bound dominate the simulation?"""
+        return self.simulated_quantile <= self.bound + self.slack_allowed
+
+
+#: scheduler name -> (simulator scheduler, analysis Delta, EDF deadlines)
+_SCHEDULER_MAP = {
+    "FIFO": ("fifo", 0.0, None),
+    "BMUX": ("bmux", math.inf, None),
+    "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
+}
+
+
+def run_validation(
+    *,
+    schedulers: Sequence[str] = ("FIFO", "BMUX", "EDF"),
+    hops: Sequence[int] = (1, 2),
+    utilization: float = 0.90,
+    epsilon: float = 1e-3,
+    slots: int = 20_000,
+    seed: int = 5,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> list[ValidationRow]:
+    """Run the bound-vs-simulation comparison grid."""
+    setting = setting or paper_setting()
+    grid = grids(quick)
+    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
+    rows: list[ValidationRow] = []
+    for name in schedulers:
+        sim_name, delta, edf_deadlines = _SCHEDULER_MAP[name]
+        for h in hops:
+            bound = e2e_delay_bound_mmoo(
+                setting.traffic, n_half, n_half, h, setting.capacity,
+                delta, epsilon, **grid,
+            )
+            config_kwargs = {}
+            if edf_deadlines is not None:
+                config_kwargs = {
+                    "edf_deadline_through": edf_deadlines[0],
+                    "edf_deadline_cross": edf_deadlines[1],
+                }
+            config = SimulationConfig(
+                traffic=setting.traffic, n_through=n_half, n_cross=n_half,
+                hops=h, capacity=setting.capacity, slots=slots,
+                scheduler=sim_name, seed=seed, **config_kwargs,
+            )
+            delays = simulate_tandem_mmoo(config).through_delays
+            rows.append(
+                ValidationRow(
+                    scheduler=name,
+                    hops=h,
+                    utilization=utilization,
+                    bound=bound.delay,
+                    simulated_quantile=delays.quantile(1.0 - epsilon),
+                    simulated_max=delays.max(),
+                    slack_allowed=float(h - 1),
+                )
+            )
+    return rows
+
+
+def format_validation(rows: Sequence[ValidationRow]) -> str:
+    """Readable table of the validation outcome."""
+    lines = [
+        f"{'scheduler':>10} {'H':>3} {'U%':>5} {'bound':>10} "
+        f"{'sim q':>10} {'sim max':>10} {'sound':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scheduler:>10} {row.hops:>3} {row.utilization * 100:>5.0f} "
+            f"{row.bound:>10.2f} {row.simulated_quantile:>10.2f} "
+            f"{row.simulated_max:>10.2f} {str(row.sound):>6}"
+        )
+    return "\n".join(lines)

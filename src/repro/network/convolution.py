@@ -1,0 +1,117 @@
+"""Statistical network service curves (paper Eqs. (30)-(31)).
+
+Given per-node statistical service curves ``S^1 .. S^H`` with exponential
+bounding functions and a rate-degradation parameter ``gamma > 0``, the
+discrete-time network service curve of [6] (paper Eq. (30)) is
+
+    ``S_net = S^1 * S^2_gamma * ... * S^H_{(H-1)gamma}``,
+    ``S^{h}_{(h-1)gamma}(t) = S^{h}(t) - (h-1) gamma t``,
+
+with bounding function (Eq. (31))
+
+    ``eps_net(sigma) = inf_{sum sigma_h = sigma} [ eps_H(sigma_H)
+        + sum_{h<H} sum_{j>=0} eps_h(sigma_h + j gamma) ]``.
+
+For exponential bounding functions the inner geometric sums evaluate to
+``eps_h(sigma) / (1 - e^{-alpha_h gamma})`` and the infimum is the closed
+form of Eq. (33), so ``eps_net`` is again exponential — for homogeneous
+nodes exactly the paper's Eq. (34).
+
+The convolution itself is exact in the factored representation: shifts
+add, and the degraded bases (concave before clipping) convolve by the
+endpoint rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.minplus import convolve
+from repro.algebra.operations import pointwise_sub
+from repro.arrivals.statistical import ExponentialBound, combine_bounds
+from repro.service.curves import StatisticalServiceCurve
+from repro.utils.validation import check_non_negative
+
+
+def degrade_rate(
+    curve: StatisticalServiceCurve, rate: float
+) -> StatisticalServiceCurve:
+    """``S(t) - rate * t`` in factored form (clipped to stay a curve).
+
+    With ``S(t) = base(t - shift) I(t > shift)``, subtracting ``rate * t``
+    gives the base ``base(u) - rate (u + shift)`` on the same shift.  The
+    result is clipped at zero (sound: smaller curve) and hulled if the
+    subtraction made it momentarily decreasing.
+    """
+    check_non_negative(rate, "rate")
+    if rate == 0.0:
+        return curve
+    line = PiecewiseLinear.affine(rate, rate * curve.shift)
+    raw = pointwise_sub(curve.base, line)
+    if raw.final_slope < 0:
+        raise ValueError(
+            f"rate degradation {rate:g} exceeds the long-term service rate "
+            f"{curve.base.final_slope:g}"
+        )
+    clipped = raw.clip_nonnegative()
+    if not clipped.is_nondecreasing():
+        clipped = clipped.nondecreasing_hull()
+    return StatisticalServiceCurve(clipped, curve.shift, curve.bound)
+
+
+def network_service_curve(
+    node_curves: Sequence[StatisticalServiceCurve], gamma: float
+) -> StatisticalServiceCurve:
+    """Eq. (30)/(31): the statistical service curve of the whole path.
+
+    ``node_curves[h]`` is the Theorem-1 leftover curve of node ``h+1``
+    (list order = path order).  ``gamma`` is the per-hop rate degradation;
+    it must be positive when more than one node is statistical (the
+    geometric sums of Eq. (31) diverge at ``gamma = 0``).
+
+    For a single node the curve is returned unchanged.  Deterministic
+    curves (prefactor 0) contribute no violation probability and need no
+    geometric factor.
+    """
+    curves = list(node_curves)
+    if not curves:
+        raise ValueError("need at least one node curve")
+    if len(curves) == 1:
+        return curves[0]
+    check_non_negative(gamma, "gamma")
+
+    statistical_non_last = [
+        c for c in curves[:-1] if not c.is_deterministic()
+    ]
+    if statistical_non_last and gamma <= 0:
+        raise ValueError(
+            "gamma must be > 0 to convolve statistical service curves "
+            "(Eq. (31) diverges at gamma = 0)"
+        )
+
+    combined: StatisticalServiceCurve | None = None
+    bounds: list[ExponentialBound] = []
+    for index, curve in enumerate(curves):
+        degraded = degrade_rate(curve, index * gamma)
+        if combined is None:
+            combined = degraded
+        else:
+            base = convolve(combined.base, degraded.base)
+            combined = StatisticalServiceCurve(
+                base, combined.shift + degraded.shift, ExponentialBound(0.0, 1.0)
+            )
+        is_last = index == len(curves) - 1
+        bound = curve.bound
+        if bound.is_deterministic():
+            continue
+        if is_last:
+            bounds.append(bound)
+        else:
+            geometric = -math.expm1(-bound.decay * gamma)
+            bounds.append(ExponentialBound(bound.prefactor / geometric, bound.decay))
+
+    assert combined is not None
+    net_bound = combine_bounds(bounds) if bounds else ExponentialBound(0.0, 1.0)
+    return StatisticalServiceCurve(combined.base, combined.shift, net_bound)

@@ -1,0 +1,54 @@
+"""Scaling helpers for the Theta(H log H) analysis (Example 3).
+
+Utilities for characterizing how a sequence of delay bounds grows with the
+path length: least-squares growth exponents on log-log axes and the
+``H log H`` reference shape.  The paper's remark (Sec. IV): for EBB traffic
+the end-to-end delays of *every* Delta-scheduler grow as
+``Theta(H log H)``, whereas node-by-node addition yields
+``O(H^3 log H)`` in discrete time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def h_log_h_reference(hops: Sequence[int], anchor: float) -> list[float]:
+    """The curve ``c * H log(1 + H)`` scaled to pass through the first point.
+
+    ``anchor`` is the desired value at ``hops[0]``.
+    """
+    if not hops:
+        return []
+    check_positive(anchor, "anchor")
+    h0 = hops[0]
+    scale = anchor / (h0 * math.log1p(h0))
+    return [scale * h * math.log1p(h) for h in hops]
+
+
+def fit_growth_exponent(hops: Sequence[int], values: Sequence[float]) -> float:
+    """Least-squares slope of ``log(values)`` against ``log(hops)``.
+
+    An exponent near 1 indicates (quasi-)linear growth — the signature of
+    the network-service-curve bounds; the additive baseline fits an
+    exponent near 3.
+    """
+    if len(hops) != len(values) or len(hops) < 2:
+        raise ValueError("need at least two (hops, value) pairs")
+    hs = np.asarray(hops, dtype=float)
+    vs = np.asarray(values, dtype=float)
+    if np.any(hs <= 0) or np.any(vs <= 0) or not np.all(np.isfinite(vs)):
+        raise ValueError("hops and values must be positive and finite")
+    slope, _ = np.polyfit(np.log(hs), np.log(vs), 1)
+    return float(slope)
+
+
+def is_superlinear(hops: Sequence[int], values: Sequence[float], *,
+                   threshold: float = 1.2) -> bool:
+    """True when the fitted growth exponent exceeds ``threshold``."""
+    return fit_growth_exponent(hops, values) > threshold

@@ -1,0 +1,47 @@
+"""Delta-schedulers (paper Definition 1) and schedulability (Theorem 2).
+
+A **Delta-scheduler** is a work-conserving, locally-FIFO scheduling
+algorithm whose precedence relation is fully captured by constants
+``Delta_{j,k}``: an arrival of flow ``j`` at time ``t`` has precedence over
+every arrival of flow ``k`` after ``t + Delta_{j,k}``.
+
+Members implemented here:
+
+* :func:`FIFO` — ``Delta = 0`` everywhere;
+* :class:`StaticPriority` — ``Delta in {-inf, 0, +inf}`` by priority level;
+* :func:`BMUX` — blind multiplexing, the analyzed flow at lowest priority;
+* :class:`EDF` — ``Delta_{j,k} = d*_j - d*_k`` from per-flow deadlines;
+* :class:`CustomDelta` — arbitrary user-supplied matrices.
+
+GPS / fair queueing is *not* a Delta-scheduler (its precedence horizon is
+random); see :mod:`repro.simulation.schedulers` where GPS is implemented
+for empirical contrast.
+"""
+
+from repro.scheduling.delta import (
+    BMUX,
+    EDF,
+    FIFO,
+    CustomDelta,
+    DeltaScheduler,
+    StaticPriority,
+)
+from repro.scheduling.schedulability import (
+    adversarial_arrivals,
+    deterministic_schedulability,
+    min_feasible_delay,
+    schedulability_margin,
+)
+
+__all__ = [
+    "DeltaScheduler",
+    "FIFO",
+    "BMUX",
+    "EDF",
+    "StaticPriority",
+    "CustomDelta",
+    "deterministic_schedulability",
+    "schedulability_margin",
+    "min_feasible_delay",
+    "adversarial_arrivals",
+]

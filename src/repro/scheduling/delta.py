@@ -1,0 +1,217 @@
+"""The Delta-scheduler abstraction (paper Definition 1).
+
+A Delta-scheduler over a flow set ``N`` is described by constants
+``Delta_{j,k} in [-inf, +inf]``: an arrival from flow ``j`` at time ``t``
+has precedence over all arrivals from flow ``k`` occurring after
+``t + Delta_{j,k}``.  Equivalently, only flow-``k`` traffic arriving no
+later than ``t + Delta_{j,k}`` can delay the tagged arrival.
+
+Sign conventions (from the paper's examples):
+
+* ``Delta_{j,k} = 0``      — FIFO order between j and k;
+* ``Delta_{j,k} = -inf``   — flow k *never* has precedence over j
+  (k is lower priority; k drops out of j's delay analysis);
+* ``Delta_{j,k} = +inf``   — flow k *always* has precedence over j
+  (k is higher priority);
+* ``Delta_{j,k} = d*_j - d*_k`` — EDF with per-flow deadlines.
+
+Every locally-FIFO Delta-scheduler has ``Delta_{j,j} = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping
+
+FlowId = Hashable
+
+
+class DeltaScheduler:
+    """Base class: a scheduler described by a Delta matrix.
+
+    Subclasses implement :meth:`delta`.  All derived quantities used by the
+    analysis — the capped ``Delta_{j,k}(y) = min(Delta_{j,k}, y)`` of
+    Eq. (7) and the relevant flow sets ``N_j`` / ``N_{-j}`` — are provided
+    here.
+    """
+
+    name = "delta"
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        """The precedence constant ``Delta_{j,k}`` (may be ``+-inf``)."""
+        raise NotImplementedError
+
+    def delta_capped(self, j: FlowId, k: FlowId, y: float) -> float:
+        """``Delta_{j,k}(y) = min(Delta_{j,k}, y)`` (paper Eq. (7))."""
+        return min(self.delta(j, k), y)
+
+    def relevant_flows(self, j: FlowId, flows: Iterable[FlowId]) -> list[FlowId]:
+        """``N_j``: flows that can affect the delay of flow ``j``
+        (those with ``Delta_{j,k} > -inf``), including ``j`` itself."""
+        return [k for k in flows if self.delta(j, k) > -math.inf]
+
+    def cross_flows(self, j: FlowId, flows: Iterable[FlowId]) -> list[FlowId]:
+        """``N_{-j} = N_j \\ {j}``: relevant cross flows."""
+        return [k for k in self.relevant_flows(j, flows) if k != j]
+
+    def validate_locally_fifo(self, flows: Iterable[FlowId]) -> None:
+        """Check ``Delta_{j,j} = 0`` for every flow (locally FIFO)."""
+        for j in flows:
+            if self.delta(j, j) != 0.0:
+                raise ValueError(
+                    f"{self.name}: Delta[{j!r},{j!r}] = {self.delta(j, j)} "
+                    "violates the locally-FIFO requirement Delta_jj = 0"
+                )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class _FIFO(DeltaScheduler):
+    """First-in-first-out: ``Delta_{j,k} = 0`` for all flows."""
+
+    name = "FIFO"
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        return 0.0
+
+
+def FIFO() -> DeltaScheduler:
+    """FIFO scheduling: only earlier arrivals have precedence
+    (``Delta_{j,k} = 0`` for all ``j, k``)."""
+    return _FIFO()
+
+
+class StaticPriority(DeltaScheduler):
+    """Static priority (SP) with FIFO inside each priority level.
+
+    Parameters
+    ----------
+    priorities:
+        Maps each flow to a numeric priority level; **larger values mean
+        higher priority**.  Flows missing from the map raise ``KeyError``
+        when queried.
+
+    The Delta matrix is the paper's: ``-inf`` when ``k`` has lower priority
+    than ``j``, ``0`` for equal priority, ``+inf`` when ``k`` has higher
+    priority.
+    """
+
+    name = "SP"
+
+    def __init__(self, priorities: Mapping[FlowId, float]) -> None:
+        if not priorities:
+            raise ValueError("priorities must not be empty")
+        self._priorities = dict(priorities)
+
+    def priority_of(self, flow: FlowId) -> float:
+        """The priority level of ``flow`` (larger = higher priority)."""
+        return self._priorities[flow]
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        pj, pk = self._priorities[j], self._priorities[k]
+        if pk < pj:
+            return -math.inf
+        if pk == pj:
+            return 0.0
+        return math.inf
+
+
+class _BMUX(DeltaScheduler):
+    """Blind multiplexing from the perspective of one low-priority flow."""
+
+    name = "BMUX"
+
+    def __init__(self, low_priority_flow: FlowId) -> None:
+        self._low = low_priority_flow
+
+    @property
+    def low_priority_flow(self) -> FlowId:
+        return self._low
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        if j == k:
+            return 0.0
+        if j == self._low:
+            return math.inf  # everyone else always has precedence over j
+        if k == self._low:
+            return -math.inf  # j never yields to the low-priority flow
+        return 0.0  # among the others: FIFO (irrelevant for the analysis)
+
+
+def BMUX(low_priority_flow: FlowId) -> DeltaScheduler:
+    """Blind multiplexing: the analyzed flow is treated as if it had lower
+    priority than all cross traffic (``Delta_{j,k} = +inf`` for ``k != j``).
+
+    BMUX yields the largest delays of any work-conserving locally-FIFO
+    scheduler and therefore serves as the reference benchmark (paper
+    Sec. III).
+    """
+    return _BMUX(low_priority_flow)
+
+
+class EDF(DeltaScheduler):
+    """Earliest-Deadline-First with per-flow a priori delay constraints.
+
+    Each flow ``k`` carries a deadline offset ``d*_k``; an arrival at ``t``
+    is tagged ``t + d*_k`` and service is by increasing tag.  Hence
+    ``Delta_{j,k} = d*_j - d*_k`` (paper Sec. III): traffic of a flow with
+    a *larger* deadline than ``j`` only has precedence if it arrived
+    sufficiently earlier.
+    """
+
+    name = "EDF"
+
+    def __init__(self, deadlines: Mapping[FlowId, float]) -> None:
+        if not deadlines:
+            raise ValueError("deadlines must not be empty")
+        for flow, d in deadlines.items():
+            if d < 0 or not math.isfinite(d):
+                raise ValueError(
+                    f"deadline of flow {flow!r} must be finite and >= 0, got {d}"
+                )
+        self._deadlines = dict(deadlines)
+
+    def deadline_of(self, flow: FlowId) -> float:
+        """The a priori delay constraint ``d*`` of ``flow``."""
+        return self._deadlines[flow]
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        return self._deadlines[j] - self._deadlines[k]
+
+
+class CustomDelta(DeltaScheduler):
+    """A Delta-scheduler given by an explicit matrix.
+
+    Parameters
+    ----------
+    matrix:
+        ``matrix[(j, k)] = Delta_{j,k}``.  Missing diagonal entries default
+        to 0 (locally FIFO); missing off-diagonal entries default to
+        ``default`` (0, i.e. FIFO order, unless overridden).
+    """
+
+    name = "custom"
+
+    def __init__(
+        self,
+        matrix: Mapping[tuple[FlowId, FlowId], float],
+        *,
+        default: float = 0.0,
+        name: str = "custom",
+    ) -> None:
+        self._matrix = dict(matrix)
+        self._default = default
+        self.name = name
+        for (j, k), value in self._matrix.items():
+            if j == k and value != 0.0:
+                raise ValueError(
+                    f"Delta[{j!r},{j!r}] = {value} violates locally-FIFO"
+                )
+            if math.isnan(value):
+                raise ValueError(f"Delta[{j!r},{k!r}] must not be NaN")
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        if j == k:
+            return self._matrix.get((j, k), 0.0)
+        return self._matrix.get((j, k), self._default)

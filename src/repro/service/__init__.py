@@ -1,0 +1,45 @@
+"""Service curves, deterministic and statistical (paper Sec. II-B, III-A).
+
+The central object is :class:`StatisticalServiceCurve`: a guarantee
+
+    ``P( D(t) < A * [S - sigma]_+ (t) ) < eps(sigma)``        (paper Eq. (5))
+
+represented as ``S = base * delta_shift`` — a finite piecewise-linear
+``base`` min-plus convolved with a pure delay ``shift``.  This factored
+form represents exactly the curves of the paper's Theorem 1, which jump at
+``t = theta`` (the indicator ``I(t > theta)``), and makes multi-node
+convolution exact: shifts add, bases convolve.
+
+:func:`leftover_service_curve` implements Theorem 1 — the statistical
+leftover service curve of a flow at a Delta-scheduler — and
+:func:`deterministic_leftover_service` its deterministic counterpart
+(Eq. (19)).
+"""
+
+from repro.service.curves import (
+    StatisticalServiceCurve,
+    constant_rate_service,
+    delay_service,
+    rate_latency_service,
+)
+from repro.service.leftover import (
+    deterministic_leftover_service,
+    leftover_service_curve,
+)
+from repro.service.packetizer import (
+    packetization_delay,
+    packetize_service,
+    packetized_delay_penalty,
+)
+
+__all__ = [
+    "StatisticalServiceCurve",
+    "constant_rate_service",
+    "rate_latency_service",
+    "delay_service",
+    "leftover_service_curve",
+    "deterministic_leftover_service",
+    "packetize_service",
+    "packetization_delay",
+    "packetized_delay_penalty",
+]

@@ -1,0 +1,176 @@
+"""The service-curve representation ``S = base * delta_shift``.
+
+Statistical service curves in the sense of the paper's Eq. (5) carry an
+exponential bounding function ``eps(sigma)``; the deterministic case
+(Eq. (3)) is embedded with the identically-zero bounding function.
+
+The factored representation exists because the curves of Theorem 1 are of
+the form ``f(t) I(t > theta)`` with ``f(theta+) > 0`` — they *jump* at
+``theta``.  A plain piecewise-linear function cannot hold an upward jump,
+but the min-plus factorization ``S = base * delta_theta`` (paper Eq. (35):
+``S^h = S-tilde * delta_theta``) represents it exactly:
+
+    ``S(t) = 0`` for ``t <= shift``, and ``base(t - shift)`` beyond.
+
+Convolution of two such curves is ``(base1 * base2) * delta_{s1+s2}`` —
+shifts add, bases convolve (associativity/commutativity of ``*``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.minplus import convolve, horizontal_deviation
+from repro.arrivals.statistical import (
+    ExponentialBound,
+    StatisticalEnvelope,
+    combine_bounds,
+)
+from repro.utils.validation import check_non_negative
+
+
+class StatisticalServiceCurve:
+    """A statistical service curve ``S = base * delta_shift`` with bound.
+
+    Parameters
+    ----------
+    base:
+        Finite piecewise-linear part; must be nonnegative and
+        nondecreasing.  ``base(0) > 0`` encodes a jump of ``S`` at
+        ``shift``.
+    shift:
+        Pure-delay component ``delta_shift`` (>= 0).
+    bound:
+        Exponential bounding function ``eps(sigma)``; the deterministic
+        embedding uses prefactor 0.
+    """
+
+    __slots__ = ("_base", "_shift", "_bound")
+
+    def __init__(
+        self,
+        base: PiecewiseLinear,
+        shift: float = 0.0,
+        bound: ExponentialBound | None = None,
+    ) -> None:
+        check_non_negative(shift, "shift")
+        if base.has_cutoff:
+            raise ValueError("the base of a service curve must be finite")
+        if not base.is_nondecreasing():
+            raise ValueError("a service curve must be nondecreasing")
+        if base(0.0) < -1e-12:
+            raise ValueError("a service curve must be nonnegative")
+        self._base = base
+        self._shift = float(shift)
+        self._bound = bound if bound is not None else ExponentialBound(0.0, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base(self) -> PiecewiseLinear:
+        """The finite piecewise-linear factor."""
+        return self._base
+
+    @property
+    def shift(self) -> float:
+        """The pure-delay factor (``delta_shift``)."""
+        return self._shift
+
+    @property
+    def bound(self) -> ExponentialBound:
+        """The bounding function ``eps(sigma)`` of Eq. (5)."""
+        return self._bound
+
+    @property
+    def long_term_rate(self) -> float:
+        """Asymptotic service rate."""
+        return self._base.final_slope
+
+    def is_deterministic(self) -> bool:
+        """True for a deterministic (never violated) guarantee."""
+        return self._bound.is_deterministic()
+
+    # ------------------------------------------------------------------ #
+    # evaluation and algebra
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, t: float) -> float:
+        """Evaluate ``S(t)``; 0 at and before the shift (the indicator)."""
+        if t <= self._shift:
+            return 0.0
+        return self._base(t - self._shift)
+
+    def convolve(self, other: "StatisticalServiceCurve") -> "StatisticalServiceCurve":
+        """Min-plus convolution of two service curves (curves only).
+
+        Note: combining the *bounding functions* across nodes requires the
+        per-hop rate-degradation construction of [6] (implemented in
+        :mod:`repro.network.convolution`); this method combines the bounds
+        with a plain union bound, which is only valid in the deterministic
+        case or for single-``t`` statements.  The network analysis does not
+        call this method for statistical curves.
+        """
+        base = convolve(self._base, other._base)
+        bound = combine_bounds([self._bound, other._bound])
+        return StatisticalServiceCurve(base, self._shift + other._shift, bound)
+
+    def delay_bound(self, envelope: StatisticalEnvelope, sigma: float) -> float:
+        """Smallest ``d`` with ``G(t) + sigma <= S(t + d)`` for all t >= 0.
+
+        This is the ``d(sigma)`` of the paper's Eq. (20); combined with the
+        bounding functions via Eq. (21) it yields the probabilistic delay
+        bound of Eq. (22) (see :func:`repro.singlenode.delay_bound`).
+        """
+        check_non_negative(sigma, "sigma")
+        shifted_env = envelope.curve.add_constant(sigma)
+        inner = horizontal_deviation(shifted_env, self._base)
+        if math.isinf(inner):
+            return math.inf
+        return self._shift + inner
+
+    def epsilon(self, sigma: float) -> float:
+        """Violation probability at slack ``sigma`` (clipped to [0, 1])."""
+        return self._bound.probability(sigma)
+
+    def __repr__(self) -> str:
+        kind = "deterministic" if self.is_deterministic() else "statistical"
+        return (
+            f"StatisticalServiceCurve({kind}, shift={self._shift:g}, "
+            f"rate={self.long_term_rate:g})"
+        )
+
+
+def constant_rate_service(rate: float) -> StatisticalServiceCurve:
+    """Deterministic service curve of a constant-rate link ``S(t) = C t``."""
+    return StatisticalServiceCurve(PiecewiseLinear.constant_rate(rate))
+
+
+def rate_latency_service(rate: float, latency: float) -> StatisticalServiceCurve:
+    """Deterministic rate-latency service curve ``R [t - T]_+``."""
+    return StatisticalServiceCurve(PiecewiseLinear.rate_latency(rate, latency))
+
+
+def delay_service(d: float) -> StatisticalServiceCurve:
+    """Deterministic pure-delay service curve ``delta_d`` (paper Eq. (4)).
+
+    Represented with an *unbounded-rate* base: traffic is fully delivered
+    ``d`` after arrival.  We encode it as a steep base; for exact
+    pure-delay semantics use the factored form in convolutions (the shift
+    carries the delay).
+    """
+    check_non_negative(d, "d")
+    return StatisticalServiceCurve(_steep_base(), d)
+
+
+def _steep_base() -> PiecewiseLinear:
+    """A practically-infinite-rate base used by :func:`delay_service`."""
+    return PiecewiseLinear.constant_rate(1e12)
+
+
+def as_callable(curve: StatisticalServiceCurve) -> Callable[[float], float]:
+    """Plain callable view of a service curve (for plotting/tests)."""
+    return curve

@@ -1,0 +1,212 @@
+"""Theorem 1: statistical leftover service curves for Delta-schedulers.
+
+For a flow ``j`` at a link of capacity ``C`` shared under a Delta-scheduler
+with cross flows carrying statistical sample-path envelopes
+``(G_k, eps_k)``, the paper's Theorem 1 states that for every ``theta >= 0``
+
+    ``S_j(t; theta) = [ C t - sum_{k in N_-j} G_k( t - theta
+                         + Delta_{j,k}(theta) ) ]_+  I(t > theta)``
+
+is a statistical service curve with bounding function
+``eps_s(sigma) = inf_{sum sigma_k = sigma} sum_k eps_k(sigma_k)`` —
+computed here in closed form for exponential bounds (Eq. (33)).
+
+The curve is returned in the factored representation
+``S = base * delta_theta`` (see :mod:`repro.service.curves`), with
+
+    ``base(u) = [ C (u + theta) - sum_k G_k( u + Delta_{j,k}(theta) ) ]_+``
+
+so that the jump of ``S`` at ``theta`` is preserved exactly and multi-node
+convolution (Section IV) stays exact.
+
+Handling of the shifted cross envelopes ``G_k(u + Delta_{j,k}(theta))``:
+
+* ``Delta_{j,k}(theta) >= 0``: a left shift — exact and continuous.
+* ``Delta_{j,k}(theta) < 0``: a right shift.  If the envelope has a burst
+  (``G_k(0+) > 0``) the shifted envelope *jumps up* at
+  ``u_k = -Delta_{j,k}(theta)``, so the raw base jumps *down* there.  A
+  piecewise-linear curve cannot hold a jump, but the **nondecreasing lower
+  hull** of the raw base can — and the hull is *lossless* for delay
+  bounds: for a nondecreasing envelope ``G``, the Eq. (20) condition
+  ``G(t) + sigma <= base(t + d')`` for all ``t`` holds iff it holds with
+  ``base`` replaced by ``hull(u) = inf_{s>=u} base(s)`` (monotonicity of
+  ``G`` transports the constraint to every later ``s``).  We therefore
+  construct the hull exactly, as the pointwise minimum of per-region
+  curves: between consecutive jump points the raw base is continuous, and
+  the infimum over each region, viewed from the left, is the region curve
+  flattened at its left edge and lowered by the accumulated jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.operations import pointwise_add, pointwise_min, pointwise_sub
+from repro.arrivals.envelopes import DeterministicEnvelope
+from repro.arrivals.statistical import (
+    ExponentialBound,
+    StatisticalEnvelope,
+    combine_bounds,
+)
+from repro.scheduling.delta import DeltaScheduler
+from repro.service.curves import StatisticalServiceCurve
+from repro.utils.validation import check_non_negative, check_positive
+
+FlowId = Hashable
+
+_EPS = 1e-12
+
+
+def _shift_right_continuous_part(
+    curve: PiecewiseLinear, delta: float
+) -> tuple[PiecewiseLinear, float]:
+    """Decompose the right shift ``u -> curve(u - delta)`` into a continuous
+    piecewise-linear part plus an upward step.
+
+    Returns ``(continuous, jump)`` with
+    ``curve(u - delta) = continuous(u) + jump * I(u > delta)`` for all
+    ``u >= 0`` (by the convention ``curve(v) = 0`` for ``v < 0``); ``jump``
+    is the envelope's burst ``curve(0)``.
+    """
+    burst = curve.ys[0]
+    if delta == 0.0:
+        # no step needed: the curve applies from u = 0 on
+        return curve, 0.0
+    xs = [0.0, delta] + [x + delta for x in curve.xs[1:]]
+    ys = [0.0, 0.0] + [y - burst for y in curve.ys[1:]]
+    continuous = PiecewiseLinear(xs, ys, curve.final_slope)
+    return continuous, burst
+
+
+def _hull_base(
+    capacity: float,
+    theta: float,
+    continuous_cross: list[PiecewiseLinear],
+    jumps: list[tuple[float, float]],
+) -> PiecewiseLinear:
+    """Exact nondecreasing hull of
+    ``[ C (u + theta) - cross_cont(u) - sum_k J_k I(u > u_k) ]_+``.
+
+    ``jumps`` is a list of ``(u_k, J_k)`` with ``u_k > 0``, ``J_k > 0``.
+    """
+    line = PiecewiseLinear.affine(capacity, capacity * theta)
+    cont_total: PiecewiseLinear | None = None
+    for curve in continuous_cross:
+        cont_total = curve if cont_total is None else pointwise_add(cont_total, curve)
+    raw = line if cont_total is None else pointwise_sub(line, cont_total)
+
+    if jumps:
+        # accumulate jumps at identical abscissae and sort
+        merged: dict[float, float] = {}
+        for u_k, j_k in jumps:
+            merged[u_k] = merged.get(u_k, 0.0) + j_k
+        points = sorted(merged)
+        # hull = min over regions: region 0 is raw itself; region j >= 1 is
+        # raw lowered by the accumulated jump and flattened left of u_(j)
+        hull = raw
+        accumulated = 0.0
+        for u_k in points:
+            accumulated += merged[u_k]
+            region = raw.translate(-accumulated).flatten_left(u_k)
+            hull = pointwise_min(hull, region)
+        raw = hull
+
+    clipped = raw.clip_nonnegative()
+    if not clipped.is_nondecreasing():
+        # cross envelopes can momentarily outrun C (steep concave pieces);
+        # the hull of the dip is a smaller, hence still valid, curve
+        clipped = clipped.nondecreasing_hull()
+    return clipped
+
+
+def leftover_service_curve(
+    scheduler: DeltaScheduler,
+    flow: FlowId,
+    capacity: float,
+    cross_envelopes: Mapping[FlowId, StatisticalEnvelope],
+    theta: float,
+) -> StatisticalServiceCurve:
+    """Theorem 1: the statistical leftover service curve ``S_j(.; theta)``.
+
+    Parameters
+    ----------
+    scheduler:
+        The Delta-scheduler at the link.
+    flow:
+        The analyzed flow ``j`` (must *not* appear in ``cross_envelopes``).
+    capacity:
+        Link rate ``C``.
+    cross_envelopes:
+        Statistical sample-path envelopes of all other flows with traffic
+        at the link.  Flows with ``Delta_{j,k} = -inf`` (lower priority
+        than ``j``) are excluded automatically.
+    theta:
+        The free parameter of the family; larger ``theta`` trades a longer
+        initial dead time for a higher curve afterwards.  The delay-bound
+        computation optimizes over it (paper Sec. IV).
+
+    Returns
+    -------
+    StatisticalServiceCurve
+        Curve in factored form with bounding function
+        ``eps_s = inf-combination of the cross eps_k`` (Eq. (33)).
+
+    Raises
+    ------
+    ValueError
+        If the cross-traffic envelope rate exceeds the link capacity (the
+        leftover service would be empty).
+    """
+    check_positive(capacity, "capacity")
+    check_non_negative(theta, "theta")
+    if flow in cross_envelopes:
+        raise ValueError(
+            f"flow {flow!r} must not be part of its own cross traffic"
+        )
+
+    relevant = scheduler.cross_flows(flow, list(cross_envelopes.keys()) + [flow])
+    continuous: list[PiecewiseLinear] = []
+    jumps: list[tuple[float, float]] = []
+    bounds: list[ExponentialBound] = []
+    cross_rate = 0.0
+    for k in relevant:
+        envelope = cross_envelopes[k]
+        cross_rate += envelope.curve.final_slope
+        capped = scheduler.delta_capped(flow, k, theta)
+        if capped >= 0:
+            continuous.append(envelope.curve.shift_left(capped))
+        else:
+            cont, jump = _shift_right_continuous_part(envelope.curve, -capped)
+            continuous.append(cont)
+            if jump > _EPS:
+                jumps.append((-capped, jump))
+        bounds.append(envelope.exponential_bound())
+
+    if cross_rate > capacity + 1e-9:
+        raise ValueError(
+            f"cross-traffic envelope rate {cross_rate:g} exceeds the link "
+            f"capacity {capacity:g}: the leftover service is empty"
+        )
+    base = _hull_base(capacity, theta, continuous, jumps)
+    bound = combine_bounds(bounds) if bounds else ExponentialBound(0.0, 1.0)
+    return StatisticalServiceCurve(base, theta, bound)
+
+
+def deterministic_leftover_service(
+    scheduler: DeltaScheduler,
+    flow: FlowId,
+    capacity: float,
+    cross_envelopes: Mapping[FlowId, DeterministicEnvelope],
+    theta: float,
+) -> StatisticalServiceCurve:
+    """Eq. (19): the deterministic leftover service curve.
+
+    Same construction as :func:`leftover_service_curve` with deterministic
+    envelopes; the bounding function is identically zero.
+    """
+    statistical = {
+        k: StatisticalEnvelope.deterministic(env.curve)
+        for k, env in cross_envelopes.items()
+    }
+    return leftover_service_curve(scheduler, flow, capacity, statistical, theta)

@@ -1,0 +1,60 @@
+"""The fluid unit moved through the simulator.
+
+A :class:`Chunk` is the traffic a flow injects in one slot (or the part of
+it still backlogged).  Chunks may be split by partial service; the split
+inherits the original timestamps so delays stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+FlowId = Hashable
+
+
+@dataclass
+class Chunk:
+    """A (possibly partial) slot's worth of fluid from one flow.
+
+    Attributes
+    ----------
+    flow:
+        Owning flow identifier.
+    size:
+        Remaining fluid in this chunk (> 0).
+    origin_slot:
+        Slot in which the fluid entered the *network* (for end-to-end
+        delay).
+    node_arrival:
+        Slot in which it arrived at the *current* node (for local FIFO
+        order and EDF deadlines).
+    tag:
+        Scheduler precedence value, assigned by the policy on arrival at
+        each node (e.g. the EDF deadline); lower = served earlier.
+    seq:
+        Per-node arrival sequence number breaking ties deterministically
+        (and enforcing locally-FIFO order within a flow).
+    """
+
+    flow: FlowId
+    size: float
+    origin_slot: int
+    node_arrival: int = 0
+    tag: float = 0.0
+    seq: int = 0
+
+    def split(self, amount: float) -> "Chunk":
+        """Serve ``amount`` of this chunk: returns the served part and
+        shrinks ``self`` in place."""
+        if amount <= 0 or amount > self.size + 1e-12:
+            raise ValueError(f"cannot split {amount} from a chunk of {self.size}")
+        served = Chunk(
+            self.flow, amount, self.origin_slot, self.node_arrival, self.tag, self.seq
+        )
+        self.size -= amount
+        return served
+
+    def sort_key(self) -> tuple:
+        """Heap ordering: precedence tag, then locally-FIFO arrival order."""
+        return (self.tag, self.node_arrival, self.seq)

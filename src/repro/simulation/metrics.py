@@ -1,0 +1,103 @@
+"""Measurement collectors for the simulator.
+
+Delays are recorded *size-weighted*: a chunk of 3 kbit delayed by 5 slots
+contributes 3 units of mass at delay 5.  This matches the virtual-delay
+process ``W(t)`` of the analysis, where every bit of traffic has a delay.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+class DelayRecorder:
+    """Size-weighted empirical delay distribution."""
+
+    def __init__(self) -> None:
+        self._delays: list[float] = []
+        self._weights: list[float] = []
+
+    def record(self, delay: float, size: float) -> None:
+        """Add ``size`` units of traffic that experienced ``delay`` slots."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        if size <= 0:
+            return
+        self._delays.append(float(delay))
+        self._weights.append(float(size))
+
+    @property
+    def total_mass(self) -> float:
+        """Total traffic recorded."""
+        return float(sum(self._weights))
+
+    def count(self) -> int:
+        """Number of recorded chunks."""
+        return len(self._delays)
+
+    def max(self) -> float:
+        """Largest observed delay (0 if nothing recorded)."""
+        return max(self._delays, default=0.0)
+
+    def mean(self) -> float:
+        """Size-weighted mean delay."""
+        if not self._delays:
+            return 0.0
+        d = np.asarray(self._delays)
+        w = np.asarray(self._weights)
+        return float(np.average(d, weights=w))
+
+    def quantile(self, p: float) -> float:
+        """Size-weighted ``p``-quantile of the delay distribution."""
+        check_probability(p, "p")
+        if not self._delays:
+            return 0.0
+        order = np.argsort(self._delays)
+        d = np.asarray(self._delays)[order]
+        w = np.asarray(self._weights)[order]
+        cum = np.cumsum(w)
+        target = p * cum[-1]
+        index = int(np.searchsorted(cum, target, side="left"))
+        return float(d[min(index, len(d) - 1)])
+
+    def exceed_fraction(self, threshold: float) -> float:
+        """Fraction of traffic (by size) delayed strictly more than
+        ``threshold`` — the empirical ``P(W > threshold)``."""
+        if not self._delays:
+            return 0.0
+        d = np.asarray(self._delays)
+        w = np.asarray(self._weights)
+        return float(w[d > threshold].sum() / w.sum())
+
+
+class BacklogRecorder:
+    """Per-slot backlog samples of a link."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, backlog: float) -> None:
+        if backlog < 0:
+            raise ValueError("backlog must be >= 0")
+        self._samples.append(float(backlog))
+
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples, default=0.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    def quantile(self, p: float) -> float:
+        check_probability(p, "p")
+        if not self._samples:
+            return 0.0
+        return float(np.quantile(self._samples, p))

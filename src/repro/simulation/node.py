@@ -1,0 +1,179 @@
+"""A buffered link with a work-conserving scheduler.
+
+Model: time advances in unit slots.  All chunks offered in slot ``t``
+arrive at the beginning of the slot; the link then drains up to
+``capacity`` fluid during the slot.  Fluid served in slot ``t`` departs at
+the end of slot ``t`` (its delay at the node is ``t - node_arrival``).
+
+Two drain modes:
+
+* precedence policies: a heap ordered by ``(tag, node_arrival, seq)``;
+* GPS: per-flow FIFO queues drained by weighted water-filling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Hashable
+
+from repro.simulation.chunk import Chunk
+from repro.simulation.schedulers import GPSPolicy, SchedulerPolicy
+from repro.utils.validation import check_positive
+
+FlowId = Hashable
+
+_SIZE_EPS = 1e-9
+
+
+class Link:
+    """A single node: capacity per slot plus a scheduler policy.
+
+    Parameters
+    ----------
+    capacity:
+        Fluid served per slot.
+    policy:
+        Scheduling policy (precedence-based or GPS).
+    preemptive:
+        With the default ``True``, service always goes to the highest-
+        precedence backlog (the paper's fluid assumption).  With
+        ``False``, a chunk once started is finished before any other —
+        the non-preemptive packet model: a higher-precedence arrival can
+        be blocked by at most one chunk (packet) in transmission.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        policy: SchedulerPolicy,
+        *,
+        preemptive: bool = True,
+    ) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = float(capacity)
+        self.policy = policy
+        self.preemptive = bool(preemptive)
+        self._seq = 0
+        # non-preemptive state: the chunk pinned to the server and its
+        # remaining unserved fluid (the chunk departs whole on completion
+        # — L-packetizer semantics)
+        self._in_service: tuple[Chunk, float] | None = None
+        if policy.is_precedence_based:
+            self._heap: list[tuple[tuple, Chunk]] = []
+        else:
+            if not isinstance(policy, GPSPolicy):
+                raise TypeError(
+                    "non-precedence policies other than GPS are not supported"
+                )
+            if not self.preemptive:
+                raise ValueError("GPS is inherently preemptive (fluid)")
+            self._queues: dict[FlowId, deque[Chunk]] = {}
+
+    # ------------------------------------------------------------------ #
+    # arrivals
+    # ------------------------------------------------------------------ #
+
+    def offer(self, chunk: Chunk, slot: int) -> None:
+        """Accept a chunk arriving at the beginning of ``slot``."""
+        if chunk.size <= _SIZE_EPS:
+            return
+        chunk.node_arrival = slot
+        chunk.tag = self.policy.tag(chunk, slot)
+        chunk.seq = self._seq
+        self._seq += 1
+        if self.policy.is_precedence_based:
+            heapq.heappush(self._heap, (chunk.sort_key(), chunk))
+        else:
+            self._queues.setdefault(chunk.flow, deque()).append(chunk)
+
+    # ------------------------------------------------------------------ #
+    # service
+    # ------------------------------------------------------------------ #
+
+    def backlog(self) -> float:
+        """Total fluid currently queued (including a chunk in service)."""
+        in_service = self._in_service[1] if self._in_service else 0.0
+        if self.policy.is_precedence_based:
+            return in_service + sum(chunk.size for _, chunk in self._heap)
+        return in_service + sum(c.size for q in self._queues.values() for c in q)
+
+    def advance(self, slot: int) -> list[Chunk]:
+        """Serve one slot; returns the chunks (or parts) departing at the
+        end of ``slot``."""
+        if self.policy.is_precedence_based:
+            return self._advance_precedence()
+        return self._advance_gps()
+
+    def _advance_precedence(self) -> list[Chunk]:
+        if self.preemptive:
+            return self._advance_preemptive()
+        return self._advance_nonpreemptive()
+
+    def _advance_preemptive(self) -> list[Chunk]:
+        budget = self.capacity
+        departed: list[Chunk] = []
+        while budget > _SIZE_EPS and self._heap:
+            key, chunk = self._heap[0]
+            if chunk.size <= budget + _SIZE_EPS:
+                heapq.heappop(self._heap)
+                budget -= chunk.size
+                departed.append(chunk)
+            else:
+                # partial service; the remainder keeps its precedence and
+                # can be overtaken next slot (fluid model)
+                departed.append(chunk.split(budget))
+                budget = 0.0
+        return departed
+
+    def _advance_nonpreemptive(self) -> list[Chunk]:
+        """Packet model: a started chunk finishes before any other is
+        served, and it departs *whole* on completion (L-packetizer)."""
+        budget = self.capacity
+        departed: list[Chunk] = []
+        while budget > _SIZE_EPS:
+            if self._in_service is None:
+                if not self._heap:
+                    break
+                _, chunk = heapq.heappop(self._heap)
+                self._in_service = (chunk, chunk.size)
+            chunk, remaining = self._in_service
+            if remaining <= budget + _SIZE_EPS:
+                budget -= remaining
+                self._in_service = None
+                departed.append(chunk)  # departs whole at completion
+            else:
+                self._in_service = (chunk, remaining - budget)
+                budget = 0.0
+        return departed
+
+    def _advance_gps(self) -> list[Chunk]:
+        assert isinstance(self.policy, GPSPolicy)
+        weights = self.policy.weights
+        departed: list[Chunk] = []
+        budget = self.capacity
+        # water-filling: repeatedly share the remaining budget among the
+        # still-backlogged flows in proportion to their weights
+        while budget > _SIZE_EPS:
+            active = [f for f, q in self._queues.items() if q]
+            if not active:
+                break
+            total_weight = sum(weights[f] for f in active)
+            leftover = 0.0
+            for flow in active:
+                share = budget * weights[flow] / total_weight
+                queue = self._queues[flow]
+                while share > _SIZE_EPS and queue:
+                    head = queue[0]
+                    if head.size <= share + _SIZE_EPS:
+                        share -= head.size
+                        departed.append(queue.popleft())
+                    else:
+                        departed.append(head.split(share))
+                        share = 0.0
+                leftover += share  # unused share of an emptied flow
+            served = budget - leftover
+            if served <= _SIZE_EPS:
+                break
+            budget = leftover
+        return departed

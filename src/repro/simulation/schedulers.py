@@ -1,0 +1,140 @@
+"""Scheduler policies for the simulator.
+
+Two families:
+
+* **Precedence policies** (:class:`FIFOPolicy`,
+  :class:`StaticPriorityPolicy`, :class:`EDFPolicy`) tag each arriving
+  chunk with a scalar; the link drains its backlog in increasing tag order
+  (ties: node-arrival slot, then sequence number — locally FIFO).  These
+  are exactly the Delta-schedulers of the paper: the tag difference
+  between two flows' simultaneous arrivals is the constant
+  ``Delta_{j,k}``.
+
+* **GPS** (:class:`GPSPolicy`) shares the slot capacity among backlogged
+  flows in proportion to their weights (fluid water-filling).  GPS is
+  *not* a Delta-scheduler (paper Sec. III); the link implements it with a
+  different drain routine.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Hashable, Mapping
+
+from repro.simulation.chunk import Chunk
+
+FlowId = Hashable
+
+
+class SchedulerPolicy(ABC):
+    """Assigns precedence tags to arriving chunks."""
+
+    name: str = "policy"
+
+    #: GPS-style policies are drained by weight sharing, not by tag order.
+    is_precedence_based: bool = True
+
+    @abstractmethod
+    def tag(self, chunk: Chunk, slot: int) -> float:
+        """Precedence value for a chunk arriving at ``slot`` (lower wins)."""
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        """The implied ``Delta_{j,k}`` (for cross-checks against the
+        analysis); ``NaN`` for non-Delta schedulers."""
+        return math.nan
+
+
+class FIFOPolicy(SchedulerPolicy):
+    """First-in-first-out: tag = arrival slot (``Delta = 0``)."""
+
+    name = "FIFO"
+
+    def tag(self, chunk: Chunk, slot: int) -> float:
+        return float(slot)
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        return 0.0
+
+
+class StaticPriorityPolicy(SchedulerPolicy):
+    """Static priority; larger priority value = served first.
+
+    The tag is ``-priority`` scaled far above the slot range so priority
+    always dominates; within a level the heap's (arrival, seq) tie-break
+    gives FIFO.
+    """
+
+    name = "SP"
+
+    def __init__(self, priorities: Mapping[FlowId, float]) -> None:
+        if not priorities:
+            raise ValueError("priorities must not be empty")
+        self._priorities = dict(priorities)
+
+    def tag(self, chunk: Chunk, slot: int) -> float:
+        return -float(self._priorities[chunk.flow])
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        pj, pk = self._priorities[j], self._priorities[k]
+        if pk < pj:
+            return -math.inf
+        if pk == pj:
+            return 0.0
+        return math.inf
+
+
+def bmux_policy(low_priority_flow: FlowId, flows: list[FlowId]) -> StaticPriorityPolicy:
+    """Blind multiplexing: ``low_priority_flow`` below everyone else."""
+    priorities = {flow: 1.0 for flow in flows}
+    priorities[low_priority_flow] = 0.0
+    policy = StaticPriorityPolicy(priorities)
+    policy.name = "BMUX"
+    return policy
+
+
+class EDFPolicy(SchedulerPolicy):
+    """Earliest deadline first: tag = arrival slot + per-flow deadline.
+
+    Realizes ``Delta_{j,k} = d*_j - d*_k``.
+    """
+
+    name = "EDF"
+
+    def __init__(self, deadlines: Mapping[FlowId, float]) -> None:
+        if not deadlines:
+            raise ValueError("deadlines must not be empty")
+        for flow, d in deadlines.items():
+            if d < 0 or not math.isfinite(d):
+                raise ValueError(f"deadline of {flow!r} must be finite >= 0")
+        self._deadlines = dict(deadlines)
+
+    def tag(self, chunk: Chunk, slot: int) -> float:
+        return float(slot) + self._deadlines[chunk.flow]
+
+    def delta(self, j: FlowId, k: FlowId) -> float:
+        return self._deadlines[j] - self._deadlines[k]
+
+
+class GPSPolicy(SchedulerPolicy):
+    """Generalized processor sharing with per-flow weights.
+
+    Included as the canonical *non*-Delta-scheduler: the share a flow
+    receives depends on the random set of currently backlogged flows, so
+    no constants ``Delta_{j,k}`` describe its precedence (paper Sec. III).
+    """
+
+    name = "GPS"
+    is_precedence_based = False
+
+    def __init__(self, weights: Mapping[FlowId, float]) -> None:
+        if not weights:
+            raise ValueError("weights must not be empty")
+        for flow, w in weights.items():
+            if w <= 0 or not math.isfinite(w):
+                raise ValueError(f"weight of {flow!r} must be finite > 0")
+        self.weights = dict(weights)
+
+    def tag(self, chunk: Chunk, slot: int) -> float:
+        # GPS ignores tags; keep locally-FIFO order within each flow queue
+        return float(slot)

@@ -1,0 +1,36 @@
+"""Single-node probabilistic performance bounds (paper Sec. III-B).
+
+Given a statistical sample-path envelope ``(G_j, eps_g)`` of a flow and a
+statistical service curve ``(S_j, eps_s)`` of a node, the paper (following
+[6]) derives the probabilistic delay bound
+
+    ``P( W_j(t) > d(sigma) ) < eps(sigma)``                    (Eq. (22))
+
+where ``d(sigma)`` is the smallest value with
+``G_j(t) + sigma <= S_j(t + d(sigma))`` for all ``t`` (Eq. (20)) and
+``eps = inf_{sigma1+sigma2=sigma} (eps_g(sigma1) + eps_s(sigma2))``
+(Eq. (21)).  Analogous constructions give backlog bounds and output
+envelopes.
+"""
+
+from repro.singlenode.delay import (
+    delay_bound,
+    delay_bound_at_sigma,
+    deterministic_delay_bound,
+    violation_probability,
+)
+from repro.singlenode.backlog import backlog_bound, deterministic_backlog_bound
+from repro.singlenode.mgf import mgf_delay_bound, mgf_violation_probability
+from repro.singlenode.output import output_envelope
+
+__all__ = [
+    "delay_bound",
+    "delay_bound_at_sigma",
+    "violation_probability",
+    "deterministic_delay_bound",
+    "backlog_bound",
+    "deterministic_backlog_bound",
+    "output_envelope",
+    "mgf_delay_bound",
+    "mgf_violation_probability",
+]

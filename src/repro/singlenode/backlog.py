@@ -1,0 +1,77 @@
+"""Probabilistic backlog bounds at a single node.
+
+The backlog analogue of Eq. (20): ``b(sigma)`` is the smallest value with
+``G(t) + sigma <= S(t) + b(sigma)`` for all ``t``, i.e. the vertical
+deviation of ``G + sigma`` against ``S``; the bounding function combines as
+in Eq. (21).  Then ``P(B(t) > b(sigma)) < eps(sigma)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.minplus import vertical_deviation
+from repro.arrivals.statistical import StatisticalEnvelope, combine_bounds
+from repro.service.curves import StatisticalServiceCurve
+from repro.utils.validation import check_non_negative, check_probability
+
+
+def _vertical_deviation_factored(
+    envelope: StatisticalEnvelope, service: StatisticalServiceCurve, sigma: float
+) -> float:
+    """``sup_t [G(t) + sigma - S(t)]`` for a factored service curve.
+
+    With ``S(t) = base(t - shift) I(t > shift)``, the supremum splits into
+    the dead-time part (``t <= shift``, where ``S = 0``) and the tail,
+    which is the vertical deviation of the left-shifted envelope against
+    the base.
+    """
+    shifted = envelope.curve.add_constant(sigma)
+    head = shifted(service.shift)  # sup over [0, shift]: envelope nondecreasing
+    tail = vertical_deviation(shifted.shift_left(service.shift), service.base)
+    if math.isinf(tail):
+        return math.inf
+    return max(head, tail, 0.0)
+
+
+def backlog_bound_at_sigma(
+    envelope: StatisticalEnvelope,
+    service: StatisticalServiceCurve,
+    sigma: float,
+) -> tuple[float, float]:
+    """``(b(sigma), eps(sigma))``: backlog analogue of Eqs. (20)-(22)."""
+    check_non_negative(sigma, "sigma")
+    b = _vertical_deviation_factored(envelope, service, sigma)
+    combined = combine_bounds([envelope.exponential_bound(), service.bound])
+    return b, combined.probability(sigma)
+
+
+def backlog_bound(
+    envelope: StatisticalEnvelope,
+    service: StatisticalServiceCurve,
+    epsilon: float,
+) -> float:
+    """Smallest backlog ``b`` with ``P(B(t) > b) < epsilon`` for all ``t``."""
+    check_probability(epsilon, "epsilon")
+    combined = combine_bounds([envelope.exponential_bound(), service.bound])
+    if epsilon == 0.0:
+        if not combined.is_deterministic():
+            raise ValueError(
+                "epsilon = 0 requires deterministic envelope and service"
+            )
+        sigma = 0.0
+    else:
+        sigma = combined.inverse(epsilon)
+    return _vertical_deviation_factored(envelope, service, sigma)
+
+
+def deterministic_backlog_bound(
+    envelope: StatisticalEnvelope, service: StatisticalServiceCurve
+) -> float:
+    """Worst-case backlog bound (vertical deviation); requires both sides
+    deterministic."""
+    if not envelope.exponential_bound().is_deterministic():
+        raise ValueError("envelope is not deterministic")
+    if not service.is_deterministic():
+        raise ValueError("service curve is not deterministic")
+    return _vertical_deviation_factored(envelope, service, 0.0)

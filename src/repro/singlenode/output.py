@@ -1,0 +1,43 @@
+"""Statistical output envelopes (min-plus deconvolution at a node).
+
+If the input of a node has statistical sample-path envelope ``(G, eps_g)``
+and the node offers a statistical service curve ``(S, eps_s)``, then the
+departures have statistical envelope
+
+    ``G_out = G (/) S``  (deconvolution),
+    ``eps_out(sigma) = inf_{s1+s2=sigma} (eps_g(s1) + eps_s(s2))``
+
+— the stochastic analogue of the classical output-burstiness theorem.
+This powers the node-by-node additive baseline of Example 3
+(:mod:`repro.network.pernode`).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.minplus import deconvolve_numeric
+from repro.algebra.operations import pointwise_max
+from repro.arrivals.statistical import StatisticalEnvelope, combine_bounds
+from repro.service.curves import StatisticalServiceCurve
+
+
+def output_envelope(
+    envelope: StatisticalEnvelope, service: StatisticalServiceCurve
+) -> StatisticalEnvelope:
+    """Envelope of the departures of ``envelope`` through ``service``.
+
+    For the factored service curve ``S(t) = base(t - shift) I(t > shift)``
+    the deconvolution evaluates to::
+
+        (G / S)(t) = max( G(t + shift),
+                          sup_{w>=0} [ G(t + shift + w) - base(w) ] )
+
+    (the first term is the supremum over the dead time ``u <= shift``; the
+    second is the deconvolution against the base).  Raises
+    :class:`ValueError` when the envelope rate is not below the long-term
+    service rate (the output burstiness diverges).
+    """
+    shifted = envelope.curve.shift_left(service.shift)
+    tail = deconvolve_numeric(shifted, service.base)
+    curve = pointwise_max(shifted, tail)
+    bound = combine_bounds([envelope.exponential_bound(), service.bound])
+    return StatisticalEnvelope(curve, bound)

@@ -1,0 +1,210 @@
+"""Scalar numeric optimization helpers.
+
+The end-to-end delay bound of Section IV is minimized numerically over the
+per-hop rate degradation ``gamma`` and the EBB envelope parameter ``alpha``
+(the paper: "Since there is no explicit term for gamma, we optimize
+numerically over gamma").  The objective is smooth but expensive, and we do
+not need high-order methods: a coarse grid scan followed by golden-section
+refinement around the best grid cell is robust and derivative-free.
+
+:func:`minimize_piecewise_linear` is the exact minimizer used by the
+theta-optimization of Eq. (38): the objective there is piecewise linear in
+the single remaining variable, so evaluating it at all region breakpoints
+yields the exact optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0  # ~0.618
+
+
+def bisect_increasing(
+    func: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Solve ``func(x) == target`` for a nondecreasing ``func`` on [low, high].
+
+    Returns the smallest ``x`` with ``func(x) >= target`` up to ``tol``.
+    Raises :class:`ValueError` if the target is not bracketed.
+    """
+    f_low = func(low)
+    f_high = func(high)
+    if f_low >= target:
+        return low
+    if f_high < target:
+        raise ValueError(
+            f"target {target} not reached on [{low}, {high}]: "
+            f"f(high) = {f_high}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (low + high)
+        if high - low <= tol * max(1.0, abs(mid)):
+            break
+        if func(mid) >= target:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def golden_section_min(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> tuple[float, float]:
+    """Minimize a unimodal ``func`` on [low, high] by golden-section search.
+
+    Returns ``(x_min, f_min)``.  If ``func`` is not unimodal the result is a
+    local minimum inside the bracket, which is acceptable for the refinement
+    step after a grid scan.
+    """
+    if high < low:
+        raise ValueError(f"empty bracket [{low}, {high}]")
+    a, b = low, high
+    x1 = b - _GOLDEN * (b - a)
+    x2 = a + _GOLDEN * (b - a)
+    f1, f2 = func(x1), func(x2)
+    for _ in range(max_iter):
+        if b - a <= tol * max(1.0, abs(a) + abs(b)):
+            break
+        if f1 <= f2:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - _GOLDEN * (b - a)
+            f1 = func(x1)
+        else:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + _GOLDEN * (b - a)
+            f2 = func(x2)
+    if f1 <= f2:
+        return x1, f1
+    return x2, f2
+
+
+def grid_then_golden(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    grid_points: int = 32,
+    tol: float = 1e-9,
+    log_spaced: bool = False,
+) -> tuple[float, float]:
+    """Minimize ``func`` on [low, high]: coarse grid scan, then refine.
+
+    The grid scan makes the search robust to multiple local minima; the
+    golden-section pass refines within the bracketing cells of the best grid
+    point.  ``func`` may return ``math.inf`` for infeasible points.
+    """
+    if high < low:
+        raise ValueError(f"empty bracket [{low}, {high}]")
+    if grid_points < 3:
+        raise ValueError("grid_points must be >= 3")
+    if log_spaced:
+        if low <= 0:
+            raise ValueError("log-spaced grid requires low > 0")
+        ratio = (high / low) ** (1.0 / (grid_points - 1))
+        xs = [low * ratio**i for i in range(grid_points)]
+    else:
+        step = (high - low) / (grid_points - 1)
+        xs = [low + i * step for i in range(grid_points)]
+    fs = [func(x) for x in xs]
+    best = min(range(grid_points), key=lambda i: fs[i])
+    if not math.isfinite(fs[best]):
+        return xs[best], fs[best]
+    lo = xs[max(0, best - 1)]
+    hi = xs[min(grid_points - 1, best + 1)]
+    x_ref, f_ref = golden_section_min(func, lo, hi, tol=tol)
+    if f_ref <= fs[best]:
+        return x_ref, f_ref
+    return xs[best], fs[best]
+
+
+def minimize_piecewise_linear(
+    func: Callable[[float], float],
+    breakpoints: Iterable[float],
+    *,
+    lower: float = 0.0,
+    upper: float | None = None,
+) -> tuple[float, float]:
+    """Exactly minimize a piecewise-linear ``func`` given its breakpoints.
+
+    A piecewise-linear function attains its minimum at a breakpoint (or at a
+    boundary of the feasible interval), so it suffices to evaluate ``func``
+    at every candidate.  Candidates outside ``[lower, upper]`` are clipped
+    out; ``lower`` (and ``upper`` when given) are always included.
+    """
+    candidates = {lower}
+    if upper is not None:
+        candidates.add(upper)
+    for point in breakpoints:
+        if not math.isfinite(point):
+            continue
+        if point < lower:
+            continue
+        if upper is not None and point > upper:
+            continue
+        candidates.add(point)
+    best_x = lower
+    best_f = math.inf
+    for x in sorted(candidates):
+        f = func(x)
+        if f < best_f:
+            best_x, best_f = x, f
+    return best_x, best_f
+
+
+def logspace(low: float, high: float, count: int) -> list[float]:
+    """Return ``count`` log-spaced points on [low, high] (both > 0)."""
+    if low <= 0 or high <= 0:
+        raise ValueError("logspace requires positive endpoints")
+    if count < 2:
+        return [low]
+    ratio = (high / low) ** (1.0 / (count - 1))
+    return [low * ratio**i for i in range(count)]
+
+
+def weighted_union_bound_constant(
+    prefactors: Sequence[float], rates: Sequence[float]
+) -> tuple[float, float]:
+    """Optimal combination of exponential bounding functions (paper Eq. (33)).
+
+    Given bounding functions ``eps_j(sigma) = M_j * exp(-alpha_j * sigma)``,
+    the infimum of ``sum_j eps_j(sigma_j)`` over all splits
+    ``sum_j sigma_j = sigma`` is again exponential::
+
+        inf = w * prod_j (M_j * alpha_j)^(1 / (alpha_j * w)) * exp(-sigma / w)
+
+    with ``w = sum_j 1 / alpha_j``.  (The formula as printed in the paper's
+    Eq. (33) is garbled by typesetting; this is the correct statement from
+    Ciucu, Burchard, Liebeherr, IEEE Trans. IT 2006, and it reproduces the
+    paper's Eq. (34) exactly — verified in the test suite.)
+
+    Returns ``(M_combined, alpha_combined)`` with
+    ``inf = M_combined * exp(-alpha_combined * sigma)``.
+    """
+    if len(prefactors) != len(rates):
+        raise ValueError("prefactors and rates must have equal length")
+    if not prefactors:
+        raise ValueError("need at least one bounding function")
+    w = 0.0
+    for rate in rates:
+        if rate <= 0:
+            raise ValueError(f"exponential decay rates must be > 0, got {rate}")
+        w += 1.0 / rate
+    log_m = math.log(w)
+    for m, rate in zip(prefactors, rates):
+        if m <= 0:
+            raise ValueError(f"prefactors must be > 0, got {m}")
+        log_m += math.log(m * rate) / (rate * w)
+    return math.exp(log_m), 1.0 / w

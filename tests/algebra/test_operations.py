@@ -1,0 +1,165 @@
+"""Unit and property tests for pointwise min/max/add on curves."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.algebra.operations import pointwise_add, pointwise_max, pointwise_min
+
+
+def probe_points(f, g, extra=()):
+    """A probe grid covering breakpoints, cutoffs and interval midpoints."""
+    pts = set(f.xs) | set(g.xs) | set(extra)
+    for c in (f.cutoff, g.cutoff):
+        if math.isfinite(c):
+            pts.add(c)
+    pts.add(max(pts) + 1.7)
+    pts.add(max(pts) * 2.3)
+    ordered = sorted(pts)
+    mids = [(a + b) / 2 for a, b in zip(ordered, ordered[1:])]
+    return sorted(set(ordered + mids))
+
+
+@st.composite
+def pwl_curves(draw):
+    """Random nondecreasing piecewise-linear curves (no cutoff)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    xs = [0.0]
+    for gap in gaps:
+        xs.append(xs[-1] + gap)
+    y0 = draw(st.floats(min_value=0.0, max_value=10.0))
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    ys = [y0]
+    for inc in increments:
+        ys.append(ys[-1] + inc)
+    final_slope = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    return PiecewiseLinear(xs, ys, final_slope)
+
+
+class TestAdd:
+    def test_token_buckets(self):
+        a = PiecewiseLinear.token_bucket(1.0, 2.0)
+        b = PiecewiseLinear.token_bucket(3.0, 4.0)
+        s = pointwise_add(a, b)
+        assert s(0.0) == pytest.approx(6.0)
+        assert s(2.0) == pytest.approx(14.0)
+        assert s.final_slope == pytest.approx(4.0)
+
+    def test_add_with_cutoff(self):
+        a = PiecewiseLinear.constant_rate(1.0)
+        d = PiecewiseLinear.delay(3.0)
+        s = pointwise_add(a, d)
+        assert s(3.0) == pytest.approx(3.0)
+        assert s(3.1) == math.inf
+
+    @given(pwl_curves(), pwl_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_pointwise(self, f, g):
+        s = pointwise_add(f, g)
+        for t in probe_points(f, g):
+            assert s(t) == pytest.approx(f(t) + g(t), rel=1e-9, abs=1e-9)
+
+
+class TestMin:
+    def test_crossing_detected(self):
+        a = PiecewiseLinear.token_bucket(1.0, 0.0)  # t
+        b = PiecewiseLinear.token_bucket(0.5, 2.0)  # 0.5 t + 2, cross at t=4
+        m = pointwise_min(a, b)
+        assert m(2.0) == pytest.approx(2.0)
+        assert m(4.0) == pytest.approx(4.0)
+        assert m(6.0) == pytest.approx(5.0)
+        assert m.final_slope == pytest.approx(0.5)
+
+    def test_min_with_delay_element_jump_raises(self):
+        # min(Ct, delta_d) is 0 until d and jumps up to Cd just past d —
+        # an upward jump a piecewise-linear curve cannot represent exactly
+        c = PiecewiseLinear.constant_rate(2.0)
+        d = PiecewiseLinear.delay(3.0)
+        with pytest.raises(ValueError, match="jumps upward"):
+            pointwise_min(c, d)
+
+    def test_min_with_cutoff_no_jump_is_fine(self):
+        # here the cutoff curve meets the other curve at its cutoff, so the
+        # minimum is continuous and representable
+        f = PiecewiseLinear((0.0,), (0.0,), 2.0, cutoff=3.0)  # 2t up to 3
+        g = PiecewiseLinear.token_bucket(1.0, 3.0)  # t + 3, equal at t=3
+        m = pointwise_min(f, g)
+        assert m(2.0) == pytest.approx(4.0)
+        assert m(5.0) == pytest.approx(8.0)
+        assert not m.has_cutoff
+
+    @given(pwl_curves(), pwl_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_min_matches_pointwise(self, f, g):
+        m = pointwise_min(f, g)
+        for t in probe_points(f, g):
+            assert m(t) == pytest.approx(min(f(t), g(t)), rel=1e-9, abs=1e-9)
+
+    @given(pwl_curves(), pwl_curves())
+    @settings(max_examples=30, deadline=None)
+    def test_min_commutes(self, f, g):
+        a = pointwise_min(f, g)
+        b = pointwise_min(g, f)
+        assert a.equals_approx(b, tol=1e-9)
+
+
+class TestMax:
+    def test_max_of_envelope_and_zero_is_clip(self):
+        f = PiecewiseLinear.from_points([(0.0, -3.0)], 1.0)
+        m = pointwise_max(f, PiecewiseLinear.zero())
+        assert m(0.0) == 0.0
+        assert m(3.0) == pytest.approx(0.0)
+        assert m(5.0) == pytest.approx(2.0)
+
+    def test_max_with_cutoff_keeps_smaller_cutoff(self):
+        c = PiecewiseLinear.constant_rate(1.0)
+        d = PiecewiseLinear.delay(2.0)
+        m = pointwise_max(c, d)
+        assert m(2.0) == pytest.approx(2.0)
+        assert m(2.5) == math.inf
+
+    @given(pwl_curves(), pwl_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_max_matches_pointwise(self, f, g):
+        m = pointwise_max(f, g)
+        for t in probe_points(f, g):
+            assert m(t) == pytest.approx(max(f(t), g(t)), rel=1e-9, abs=1e-9)
+
+
+class TestAlgebraicProperties:
+    @given(pwl_curves(), pwl_curves(), pwl_curves())
+    @settings(max_examples=25, deadline=None)
+    def test_min_associative(self, f, g, h):
+        a = pointwise_min(pointwise_min(f, g), h)
+        b = pointwise_min(f, pointwise_min(g, h))
+        for t in probe_points(f, g, extra=h.xs):
+            assert a(t) == pytest.approx(b(t), rel=1e-9, abs=1e-9)
+
+    @given(pwl_curves())
+    @settings(max_examples=25, deadline=None)
+    def test_min_idempotent(self, f):
+        m = pointwise_min(f, f)
+        assert m.equals_approx(f, tol=1e-9)
+
+    @given(pwl_curves(), pwl_curves())
+    @settings(max_examples=25, deadline=None)
+    def test_add_commutes(self, f, g):
+        a = pointwise_add(f, g)
+        b = pointwise_add(g, f)
+        assert a.equals_approx(b, tol=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for the curve transforms added for the leftover construction:
+shift_left, translate, flatten_left, inverse_strict, nondecreasing_hull."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+
+
+@st.composite
+def nondecreasing_curves(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    xs, ys = [0.0], [draw(st.floats(min_value=0.0, max_value=5.0))]
+    for _ in range(n - 1):
+        xs.append(xs[-1] + draw(st.floats(min_value=0.2, max_value=3.0)))
+        ys.append(ys[-1] + draw(st.floats(min_value=0.0, max_value=5.0)))
+    return PiecewiseLinear(xs, ys, draw(st.floats(min_value=0.0, max_value=4.0)))
+
+
+class TestShiftLeft:
+    def test_basic(self):
+        f = PiecewiseLinear.token_bucket(2.0, 3.0)
+        g = f.shift_left(1.5)
+        assert g(0.0) == pytest.approx(f(1.5))
+        assert g(2.0) == pytest.approx(f(3.5))
+
+    def test_zero_identity(self):
+        f = PiecewiseLinear.token_bucket(2.0, 3.0)
+        assert f.shift_left(0.0) is f
+
+    def test_drops_passed_breakpoints(self):
+        f = PiecewiseLinear.from_points([(0.0, 0.0), (1.0, 2.0), (3.0, 3.0)], 1.0)
+        g = f.shift_left(2.0)
+        assert g.xs == (0.0, 1.0)
+        assert g(0.0) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.zero().shift_left(-1.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinear.delay(1.0).shift_left(0.5)
+
+    @given(nondecreasing_curves(), st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_pointwise_property(self, f, d):
+        g = f.shift_left(d)
+        for t in (0.0, 0.7, 1.9, 4.2, 11.0):
+            assert g(t) == pytest.approx(f(t + d), rel=1e-9, abs=1e-9)
+
+
+class TestTranslate:
+    def test_no_clipping(self):
+        f = PiecewiseLinear.constant_rate(1.0).translate(-3.0)
+        assert f(0.0) == -3.0
+        assert f(5.0) == 2.0
+
+    def test_preserves_cutoff(self):
+        f = PiecewiseLinear.delay(2.0).translate(1.0)
+        assert f(2.0) == 1.0
+        assert f(2.1) == math.inf
+
+
+class TestFlattenLeft:
+    def test_basic(self):
+        f = PiecewiseLinear.constant_rate(2.0)
+        g = f.flatten_left(3.0)
+        assert g(0.0) == pytest.approx(6.0)
+        assert g(1.5) == pytest.approx(6.0)
+        assert g(5.0) == pytest.approx(10.0)
+
+    def test_noop_for_zero(self):
+        f = PiecewiseLinear.constant_rate(2.0)
+        assert f.flatten_left(0.0) is f
+        assert f.flatten_left(-1.0) is f
+
+    @given(nondecreasing_curves(), st.floats(min_value=0.1, max_value=6.0))
+    @settings(max_examples=50, deadline=None)
+    def test_pointwise_property(self, f, x0):
+        g = f.flatten_left(x0)
+        for t in (0.0, x0 / 2, x0, x0 + 1.0, x0 + 5.0):
+            expected = f(max(t, x0))
+            assert g(t) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestInverseStrict:
+    def test_plateau(self):
+        f = PiecewiseLinear.rate_latency(2.0, 3.0)
+        assert f.inverse(0.0) == 0.0
+        assert f.inverse_strict(0.0) == pytest.approx(3.0)
+
+    def test_no_plateau_same_as_inverse(self):
+        f = PiecewiseLinear.constant_rate(2.0)
+        assert f.inverse_strict(4.0) == pytest.approx(f.inverse(4.0))
+
+    def test_never_exceeds(self):
+        f = PiecewiseLinear.zero()
+        assert f.inverse_strict(0.0) == math.inf
+
+    def test_cutoff_jump(self):
+        d = PiecewiseLinear.delay(2.0)
+        assert d.inverse_strict(0.0) == pytest.approx(2.0)
+
+    @given(nondecreasing_curves(), st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_definition(self, f, y):
+        t = f.inverse_strict(y)
+        if math.isinf(t):
+            # f never exceeds y
+            probe = f.xs[-1] + 100.0
+            assert f(probe) <= y + 1e-6
+        else:
+            # just right of t the function exceeds y; left of t it does not
+            assert f(t + 1e-6) > y - 1e-6
+            if t > 1e-9:
+                assert f(t - 1e-9) <= y + 1e-6
+
+
+class TestHullProperty:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_hull_is_exact_infimum(self, data):
+        # random possibly-dipping curves with nonnegative final slope
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        xs, ys = [0.0], [data.draw(st.floats(min_value=0.0, max_value=5.0))]
+        for _ in range(n - 1):
+            xs.append(xs[-1] + data.draw(st.floats(min_value=0.3, max_value=2.0)))
+            ys.append(
+                max(
+                    0.0,
+                    ys[-1] + data.draw(st.floats(min_value=-4.0, max_value=4.0)),
+                )
+            )
+        f = PiecewiseLinear(xs, ys, data.draw(st.floats(min_value=0.0, max_value=3.0)))
+        hull = f.nondecreasing_hull()
+        assert hull.is_nondecreasing()
+        horizon = xs[-1] + 2.0
+        for i in range(25):
+            t = horizon * i / 24.0
+            offsets = [horizon * j / 400.0 for j in range(401)]
+            # include breakpoint-aligned offsets so the scan hits the
+            # exact dip bottoms
+            offsets += [x - t for x in f.xs if x - t >= 0.0]
+            brute = min(f(t + u) for u in offsets)
+            assert hull(t) == pytest.approx(brute, rel=1e-6, abs=1e-6)

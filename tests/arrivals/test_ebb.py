@@ -1,0 +1,132 @@
+"""Tests for the EBB arrival model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.ebb import EBB, aggregate_ebb
+from repro.arrivals.mmoo import MMOOParameters
+from repro.arrivals.processes import mmoo_aggregate_arrivals
+
+
+class TestEBBBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EBB(0.5, 1.0, 1.0)  # M < 1
+        with pytest.raises(ValueError):
+            EBB(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            EBB(1.0, 1.0, -1.0)
+
+    def test_interval_bound_clipped(self):
+        p = EBB(2.0, 1.0, 1.0)
+        assert p.interval_bound(5.0, 0.0) == 1.0
+        assert p.interval_bound(5.0, 10.0) == pytest.approx(2.0 * math.exp(-10.0))
+        with pytest.raises(ValueError):
+            p.interval_bound(-1.0, 0.0)
+
+    def test_scaled(self):
+        p = EBB(1.0, 0.5, 2.0)
+        q = p.scaled(10)
+        assert q.rate == pytest.approx(5.0)
+        assert q.decay == p.decay
+        assert q.prefactor == p.prefactor
+        with pytest.raises(ValueError):
+            p.scaled(0)
+
+
+class TestSamplePathEnvelope:
+    def test_formula(self):
+        # paper Sec. IV: G(t) = (rho + gamma) t,
+        # eps(sigma) = M e^{-alpha sigma} / (1 - e^{-alpha gamma})
+        p = EBB(1.5, 2.0, 0.7)
+        gamma = 0.3
+        env = p.sample_path_envelope(gamma)
+        assert env(4.0) == pytest.approx((2.0 + gamma) * 4.0)
+        bound = env.exponential_bound()
+        q = math.exp(-0.7 * gamma)
+        assert bound.prefactor == pytest.approx(1.5 / (1.0 - q))
+        assert bound.decay == pytest.approx(0.7)
+
+    def test_geometric_sum_identity(self):
+        # the prefactor equals the geometric sum sum_j M e^{-alpha j gamma}
+        p = EBB(1.0, 1.0, 0.5)
+        gamma = 0.4
+        bound = p.sample_path_bound(gamma)
+        geometric = sum(math.exp(-0.5 * j * gamma) for j in range(100000))
+        assert bound.prefactor == pytest.approx(geometric, rel=1e-6)
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            EBB(1.0, 1.0, 1.0).sample_path_envelope(0.0)
+
+    def test_smaller_gamma_means_larger_prefactor(self):
+        p = EBB(1.0, 1.0, 1.0)
+        assert (
+            p.sample_path_bound(0.1).prefactor > p.sample_path_bound(1.0).prefactor
+        )
+
+
+class TestAggregateEBB:
+    def test_rates_add(self):
+        agg = aggregate_ebb([EBB(1.0, 1.0, 1.0), EBB(1.0, 2.0, 1.0)])
+        assert agg.rate == pytest.approx(3.0)
+
+    def test_equal_decay_combination(self):
+        # two identical flows with M=1, alpha: combined decay alpha/2,
+        # prefactor 2 (w * prod (M alpha)^{1/(alpha w)} with w = 2/alpha)
+        agg = aggregate_ebb([EBB(1.0, 1.0, 1.0), EBB(1.0, 1.0, 1.0)])
+        assert agg.decay == pytest.approx(0.5)
+        assert agg.prefactor == pytest.approx(2.0)
+
+    def test_single_passthrough(self):
+        p = EBB(1.0, 1.0, 1.0)
+        assert aggregate_ebb([p]) is p
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_ebb([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=5.0),
+                st.floats(min_value=0.1, max_value=3.0),
+                st.floats(min_value=0.2, max_value=3.0),
+            ),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_is_weaker_than_members(self, triples):
+        flows = [EBB(m, r, a) for m, r, a in triples]
+        agg = aggregate_ebb(flows)
+        # the aggregate decay is the harmonic combination: slower than each
+        assert agg.decay <= min(f.decay for f in flows) + 1e-12
+        assert agg.prefactor >= 1.0
+
+
+class TestEBBAgainstSimulatedTraffic:
+    """Statistical check: the Eq. (27) bound holds on simulated MMOO traffic."""
+
+    def test_interval_bound_holds_empirically(self):
+        params = MMOOParameters.paper_defaults()
+        n_flows = 50
+        s = 1.0
+        ebb = params.ebb(n_flows, s)
+        rng = np.random.default_rng(42)
+        arrivals = mmoo_aggregate_arrivals(params, n_flows, 60_000, rng)
+        cum = np.concatenate([[0.0], np.cumsum(arrivals)])
+        for length in (1, 5, 20):
+            windows = cum[length:] - cum[:-length]
+            for sigma in (5.0, 10.0):
+                threshold = ebb.rate * length + sigma
+                empirical = float(np.mean(windows > threshold))
+                bound = ebb.interval_bound(length, sigma)
+                # generous slack: empirical frequency must not exceed the
+                # bound beyond statistical noise
+                assert empirical <= bound + 3e-3

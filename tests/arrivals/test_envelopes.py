@@ -1,0 +1,121 @@
+"""Tests for deterministic envelopes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.envelopes import (
+    DeterministicEnvelope,
+    leaky_bucket,
+    multi_leaky_bucket,
+    smallest_envelope,
+)
+
+
+class TestLeakyBucket:
+    def test_values(self):
+        e = leaky_bucket(rate=2.0, burst=5.0)
+        assert e(0.0) == 0.0  # paper convention: E(t) = 0 for t <= 0
+        assert e(1.0) == pytest.approx(7.0)
+        assert e.rate == 2.0
+        assert e.burst == 5.0
+
+    def test_is_concave(self):
+        assert leaky_bucket(2.0, 5.0).is_concave()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            leaky_bucket(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            leaky_bucket(1.0, -1.0)
+
+    def test_rejects_decreasing_curve(self):
+        bad = PiecewiseLinear.from_points([(0.0, 5.0), (1.0, 0.0)], 0.0)
+        with pytest.raises(ValueError):
+            DeterministicEnvelope(bad)
+
+    def test_rejects_cutoff_curve(self):
+        with pytest.raises(ValueError):
+            DeterministicEnvelope(PiecewiseLinear.delay(1.0))
+
+
+class TestMultiLeakyBucket:
+    def test_takes_minimum(self):
+        # peak-rate constraint min(3t, t + 4): concave T-SPEC-like envelope
+        e = multi_leaky_bucket([(3.0, 0.0), (1.0, 4.0)])
+        assert e(1.0) == pytest.approx(3.0)
+        assert e(4.0) == pytest.approx(8.0)
+        assert e.is_concave()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            multi_leaky_bucket([])
+
+
+class TestConformance:
+    def test_conforming_path(self):
+        e = leaky_bucket(rate=1.0, burst=2.0)
+        # bursts of 2 separated by idle slots: every window fits r*t + b
+        path = [2.0, 0.0, 2.0, 0.0, 2.0, 0.0]
+        assert e.conforms(path)
+
+    def test_violating_path(self):
+        e = leaky_bucket(rate=1.0, burst=2.0)
+        path = [5.0, 0.0]  # burst of 5 > 1*1 + 2
+        assert not e.conforms(path)
+        assert e.worst_violation(path) == pytest.approx(5.0 - 3.0)
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            leaky_bucket(1.0, 1.0).conforms([1.0, -0.5])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=3.0), min_size=1, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_smallest_envelope_is_conformant_envelope(self, path):
+        env_points = smallest_envelope(path)
+        # build a PWL through the minimal envelope points: by construction
+        # it dominates every window of the path
+        curve = PiecewiseLinear(
+            list(range(len(env_points))), env_points, final_slope=max(path) + 1.0
+        )
+        # monotonize: the minimal envelope is nondecreasing already
+        e = DeterministicEnvelope(curve)
+        assert e.worst_violation(path) <= 1e-9
+
+
+class TestSmallestEnvelope:
+    def test_simple(self):
+        # path 3,1,0,3: E[1]=3, E[2]=4, E[3]=4, E[4]=7
+        env = smallest_envelope([3.0, 1.0, 0.0, 3.0])
+        assert env == [0.0, 3.0, 4.0, 4.0, 7.0]
+
+    def test_subadditive(self):
+        rng = np.random.default_rng(7)
+        path = rng.uniform(0.0, 2.0, size=40)
+        env = smallest_envelope(path)
+        n = len(env) - 1
+        for i in range(1, n + 1):
+            for j in range(1, n + 1 - i):
+                assert env[i + j] <= env[i] + env[j] + 1e-9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            smallest_envelope([-1.0])
+
+
+class TestAggregation:
+    def test_aggregate_sums(self):
+        a = leaky_bucket(1.0, 2.0)
+        b = leaky_bucket(3.0, 1.0)
+        agg = a.aggregate(b)
+        assert agg(2.0) == pytest.approx(a(2.0) + b(2.0))
+
+    def test_scale(self):
+        e = leaky_bucket(1.0, 2.0).scale(5)
+        assert e(3.0) == pytest.approx(5.0 * (3.0 + 2.0))
+        with pytest.raises(ValueError):
+            leaky_bucket(1.0, 2.0).scale(0)

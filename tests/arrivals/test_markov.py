@@ -1,0 +1,172 @@
+"""Tests for general Markov-modulated sources."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.markov import MarkovModulatedSource
+from repro.arrivals.mmoo import MMOOParameters
+
+
+def three_state_video():
+    """A 3-state source: idle / base-layer / burst."""
+    return MarkovModulatedSource(
+        [
+            [0.90, 0.08, 0.02],
+            [0.10, 0.80, 0.10],
+            [0.05, 0.25, 0.70],
+        ],
+        [0.0, 1.0, 4.0],
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        src = three_state_video()
+        assert src.n_states == 3
+        assert src.peak_rate == 4.0
+
+    def test_stationary_sums_to_one(self):
+        pi = three_state_video().stationary
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi > 0)
+
+    def test_mean_rate(self):
+        src = three_state_video()
+        assert src.mean_rate == pytest.approx(float(src.stationary @ src.rates))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedSource([[0.5, 0.4], [0.5, 0.5]], [0.0, 1.0])  # rows
+        with pytest.raises(ValueError):
+            MarkovModulatedSource([[1.0]], [0.0])  # never emits
+        with pytest.raises(ValueError):
+            MarkovModulatedSource([[0.5, 0.5], [0.5, 0.5]], [1.0])  # shapes
+        with pytest.raises(ValueError):
+            MarkovModulatedSource([[0.5, 0.5], [0.5, 0.5]], [-1.0, 1.0])
+        with pytest.raises(ValueError):
+            MarkovModulatedSource([[1.5, -0.5], [0.5, 0.5]], [0.0, 1.0])
+
+
+class TestEffectiveBandwidth:
+    def test_recovers_mmoo_closed_form(self):
+        mmoo = MMOOParameters.paper_defaults()
+        markov = MarkovModulatedSource.on_off(
+            mmoo.peak, mmoo.p11, mmoo.p22
+        )
+        for s in (0.01, 0.1, 1.0, 5.0):
+            assert markov.effective_bandwidth(s) == pytest.approx(
+                mmoo.effective_bandwidth(s), rel=1e-9
+            )
+        assert markov.mean_rate == pytest.approx(mmoo.mean_rate)
+
+    def test_limits(self):
+        src = three_state_video()
+        assert src.effective_bandwidth(1e-6) == pytest.approx(
+            src.mean_rate, rel=1e-2
+        )
+        assert src.effective_bandwidth(60.0) == pytest.approx(
+            src.peak_rate, rel=1e-2
+        )
+
+    def test_monotone(self):
+        src = three_state_video()
+        values = [src.effective_bandwidth(s) for s in (0.01, 0.1, 1.0, 10.0)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_overflow_safe_at_large_s(self):
+        src = three_state_video()
+        eb = src.effective_bandwidth(500.0)
+        assert math.isfinite(eb)
+        assert eb == pytest.approx(src.peak_rate, rel=1e-3)
+
+    @given(
+        st.floats(min_value=0.6, max_value=0.95),
+        st.floats(min_value=0.6, max_value=0.95),
+        st.floats(min_value=0.05, max_value=3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chernoff_bound_against_exact_mgf(self, stay0, stay1, s):
+        """The spectral-radius bound dominates the exact DP MGF."""
+        src = MarkovModulatedSource(
+            [[stay0, 1 - stay0], [1 - stay1, stay1]], [0.0, 2.0]
+        )
+        eb = src.effective_bandwidth(s)
+        # exact E[e^{s A(t)}] by backward dynamic programming
+        t_slots = 10
+        v = np.ones(2)
+        emit = np.exp(s * src.rates)
+        p = src.transition
+        for _ in range(t_slots):
+            v = emit * (p @ v)
+        mgf = float(src.stationary @ v)
+        assert math.log(mgf) <= s * t_slots * eb + 1e-7
+
+
+class TestEBBIntegration:
+    def test_ebb_triple(self):
+        src = three_state_video()
+        ebb = src.ebb(50, 0.5)
+        assert ebb.prefactor == 1.0
+        assert ebb.decay == 0.5
+        assert ebb.rate == pytest.approx(50 * src.effective_bandwidth(0.5))
+
+    def test_e2e_bound_with_markov_workload(self):
+        """The whole Section IV pipeline runs on a general Markov source."""
+        from repro.network.e2e import e2e_delay_bound
+
+        src = three_state_video()
+        through = src.ebb(30, 0.2)
+        cross = src.ebb(40, 0.2)
+        capacity = (through.rate + cross.rate) * 1.4
+        result = e2e_delay_bound(through, cross, 4, capacity, 0.0, 1e-6)
+        assert result.feasible
+        assert result.delay > 0
+
+
+class TestSamplePaths:
+    def test_mean_matches(self):
+        src = three_state_video()
+        rng = np.random.default_rng(11)
+        arrivals = src.aggregate_arrivals(40, 30_000, rng)
+        assert float(arrivals.mean()) / 40 == pytest.approx(
+            src.mean_rate, rel=0.05
+        )
+
+    def test_reproducible(self):
+        src = three_state_video()
+        a = src.aggregate_arrivals(5, 100, np.random.default_rng(3))
+        b = src.aggregate_arrivals(5, 100, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_on_off_matches_mmoo_statistics(self):
+        mmoo = MMOOParameters.paper_defaults()
+        markov = MarkovModulatedSource.on_off(mmoo.peak, mmoo.p11, mmoo.p22)
+        rng = np.random.default_rng(7)
+        arrivals = markov.aggregate_arrivals(100, 30_000, rng)
+        assert float(arrivals.mean()) / 100 == pytest.approx(
+            mmoo.mean_rate, rel=0.05
+        )
+
+    def test_cold_start(self):
+        src = three_state_video()
+        rng = np.random.default_rng(1)
+        arrivals = src.aggregate_arrivals(5, 3, rng, stationary_start=False)
+        assert arrivals[0] == 0.0  # state 0 emits nothing
+
+    def test_empirical_ebb_bound_holds(self):
+        """Eq. (27) with the spectral-radius envelope on sampled traffic."""
+        src = three_state_video()
+        n_flows, s = 30, 0.5
+        ebb = src.ebb(n_flows, s)
+        rng = np.random.default_rng(23)
+        arrivals = src.aggregate_arrivals(n_flows, 50_000, rng)
+        cum = np.concatenate([[0.0], np.cumsum(arrivals)])
+        for length in (1, 10):
+            windows = cum[length:] - cum[:-length]
+            for sigma in (5.0, 15.0):
+                empirical = float(np.mean(windows > ebb.rate * length + sigma))
+                assert empirical <= ebb.interval_bound(length, sigma) + 3e-3

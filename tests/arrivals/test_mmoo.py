@@ -1,0 +1,114 @@
+"""Tests for the MMOO source model and its effective bandwidth."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.mmoo import MMOOParameters
+from repro.arrivals.processes import mmoo_aggregate_arrivals
+
+
+class TestChainBasics:
+    def test_paper_defaults(self):
+        # paper Sec. V: P = 1.5 kbit, p11 = 0.989, p22 = 0.9 ->
+        # peak 1.5 Mbps, mean ~0.15 Mbps
+        m = MMOOParameters.paper_defaults()
+        assert m.peak_rate == pytest.approx(1.5)
+        assert m.mean_rate == pytest.approx(0.1486, abs=5e-4)
+        assert m.p12 == pytest.approx(0.011)
+        assert m.p21 == pytest.approx(0.1)
+
+    def test_stationary_distribution(self):
+        m = MMOOParameters(peak=1.0, p11=0.8, p22=0.6)
+        # pi_on = p12 / (p12 + p21) = 0.2 / 0.6
+        assert m.on_probability == pytest.approx(0.2 / 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMOOParameters(peak=0.0, p11=0.9, p22=0.9)
+        with pytest.raises(ValueError):
+            MMOOParameters(peak=1.0, p11=1.5, p22=0.9)
+        with pytest.raises(ValueError):
+            # p12 + p21 = 0.6 + 0.6 > 1 violates the paper's assumption
+            MMOOParameters(peak=1.0, p11=0.4, p22=0.4)
+        with pytest.raises(ValueError):
+            # frozen chain (p12 = p21 = 0) is degenerate
+            MMOOParameters(peak=1.0, p11=1.0, p22=1.0)
+
+
+class TestEffectiveBandwidth:
+    def test_limits(self):
+        m = MMOOParameters.paper_defaults()
+        # s -> 0: effective bandwidth tends to the mean rate
+        assert m.effective_bandwidth(1e-6) == pytest.approx(m.mean_rate, rel=1e-2)
+        # s -> inf: tends to the peak rate
+        assert m.effective_bandwidth(50.0) == pytest.approx(m.peak_rate, rel=1e-2)
+
+    def test_monotone_in_s(self):
+        m = MMOOParameters.paper_defaults()
+        values = [m.effective_bandwidth(s) for s in (0.01, 0.1, 1.0, 10.0)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_between_mean_and_peak(self):
+        m = MMOOParameters.paper_defaults()
+        for s in (0.01, 0.5, 2.0, 20.0):
+            eb = m.effective_bandwidth(s)
+            assert m.mean_rate - 1e-9 <= eb <= m.peak_rate + 1e-9
+
+    def test_rejects_nonpositive_s(self):
+        with pytest.raises(ValueError):
+            MMOOParameters.paper_defaults().effective_bandwidth(0.0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=0.85, max_value=0.999),
+        st.floats(min_value=0.5, max_value=0.99),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_chernoff_bound_against_exact_mgf(self, peak, p11, p22, s):
+        """The spectral-radius formula must upper-bound the exact finite-t
+        MGF computed by dynamic programming over the chain."""
+        try:
+            m = MMOOParameters(peak=peak, p11=p11, p22=p22)
+        except ValueError:
+            return
+        eb = m.effective_bandwidth(s)
+        # exact E[e^{s A(t)}] for the stationary chain, t slots, by DP:
+        # phi_t(state) = E[e^{s A(t)} | X_1 = state]; arrivals counted
+        # per-slot in the current state.
+        t_slots = 12
+        e_sp = math.exp(s * peak)
+        # backward recursion: v_t = 1; v_k(x) = r(x) * sum_y P(x,y) v_{k+1}(y)
+        v_off, v_on = 1.0, 1.0
+        for _ in range(t_slots):
+            new_off = 1.0 * (m.p11 * v_off + m.p12 * v_on)
+            new_on = e_sp * (m.p21 * v_off + m.p22 * v_on)
+            v_off, v_on = new_off, new_on
+        mgf = (1.0 - m.on_probability) * v_off + m.on_probability * v_on
+        assert math.log(mgf) <= s * t_slots * eb + 1e-7
+
+
+class TestEBBFromMMOO:
+    def test_ebb_triple(self):
+        m = MMOOParameters.paper_defaults()
+        ebb = m.ebb(100, 1.0)
+        assert ebb.prefactor == 1.0
+        assert ebb.decay == 1.0
+        assert ebb.rate == pytest.approx(100 * m.effective_bandwidth(1.0))
+
+    def test_log_mgf_bound(self):
+        m = MMOOParameters.paper_defaults()
+        assert m.log_mgf_bound(1.0, 5.0) == pytest.approx(
+            5.0 * m.effective_bandwidth(1.0)
+        )
+
+    def test_empirical_mean_rate(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(3)
+        arr = mmoo_aggregate_arrivals(m, 200, 20_000, rng)
+        empirical_rate = float(arr.mean()) / 200
+        assert empirical_rate == pytest.approx(m.mean_rate, rel=0.05)

@@ -1,0 +1,75 @@
+"""Tests for the sample-path generators."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.mmoo import MMOOParameters
+from repro.arrivals.processes import (
+    cbr_arrivals,
+    mmoo_aggregate_arrivals,
+    mmoo_per_flow_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestMMOOGenerators:
+    def test_shapes(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(0)
+        agg = mmoo_aggregate_arrivals(m, 10, 100, rng)
+        assert agg.shape == (100,)
+        per = mmoo_per_flow_arrivals(m, 10, 100, rng)
+        assert per.shape == (10, 100)
+
+    def test_values_are_multiples_of_peak(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(1)
+        agg = mmoo_aggregate_arrivals(m, 7, 500, rng)
+        ratios = agg / m.peak
+        assert np.allclose(ratios, np.round(ratios))
+        assert agg.min() >= 0.0
+        assert agg.max() <= 7 * m.peak + 1e-9
+
+    def test_reproducible_with_seed(self):
+        m = MMOOParameters.paper_defaults()
+        a = mmoo_aggregate_arrivals(m, 5, 50, np.random.default_rng(9))
+        b = mmoo_aggregate_arrivals(m, 5, 50, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_cold_start(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(2)
+        agg = mmoo_aggregate_arrivals(m, 5, 10, rng, stationary_start=False)
+        assert agg[0] == 0.0  # all flows start OFF
+
+    def test_per_flow_mean_matches_model(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(4)
+        per = mmoo_per_flow_arrivals(m, 30, 30_000, rng)
+        assert float(per.mean()) == pytest.approx(m.mean_rate, rel=0.08)
+
+    def test_validation(self):
+        m = MMOOParameters.paper_defaults()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mmoo_aggregate_arrivals(m, 0, 10, rng)
+        with pytest.raises(ValueError):
+            mmoo_aggregate_arrivals(m, 1, 0, rng)
+
+
+class TestOtherGenerators:
+    def test_cbr(self):
+        arr = cbr_arrivals(2.5, 4)
+        assert np.array_equal(arr, np.array([2.5, 2.5, 2.5, 2.5]))
+
+    def test_poisson_mean(self):
+        rng = np.random.default_rng(5)
+        arr = poisson_arrivals(3.0, 0.5, 50_000, rng)
+        assert float(arr.mean()) == pytest.approx(1.5, rel=0.05)
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0, 10, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0, 10, rng)

@@ -1,0 +1,103 @@
+"""Tests for the greedy leaky-bucket shaper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.envelopes import leaky_bucket
+from repro.arrivals.shaper import ShapedSource, shape_to_leaky_bucket
+
+
+class TestShaping:
+    def test_conformant_traffic_passes_through(self):
+        # 1 unit/slot through a (2, 5) shaper: untouched
+        arrivals = np.ones(20)
+        output, backlog = shape_to_leaky_bucket(arrivals, rate=2.0, burst=5.0)
+        assert np.allclose(output, arrivals)
+        assert np.allclose(backlog, 0.0)
+
+    def test_burst_is_clipped_and_conserved(self):
+        arrivals = np.zeros(30)
+        arrivals[0] = 50.0
+        output, backlog = shape_to_leaky_bucket(arrivals, rate=2.0, burst=5.0)
+        # first slot releases burst + rate tokens
+        assert output[0] == pytest.approx(7.0)
+        assert output.sum() == pytest.approx(50.0)  # conservation (drains)
+        assert backlog[0] == pytest.approx(43.0)
+
+    def test_output_conforms_to_envelope(self):
+        rng = np.random.default_rng(3)
+        arrivals = rng.uniform(0.0, 6.0, 200)
+        output, _ = shape_to_leaky_bucket(arrivals, rate=2.0, burst=4.0)
+        assert leaky_bucket(2.0, 4.0).conforms(output, tol=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=8.0), min_size=1, max_size=60),
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conformance_and_causality_properties(self, arrivals, rate, burst):
+        output, backlog = shape_to_leaky_bucket(arrivals, rate, burst)
+        # conformance over every window
+        assert leaky_bucket(rate, burst).conforms(output, tol=1e-6)
+        # causality: cumulative output never exceeds cumulative input
+        cum_in = np.cumsum(arrivals)
+        cum_out = np.cumsum(output)
+        assert np.all(cum_out <= cum_in + 1e-9)
+        # work conservation of the greedy shaper: if there is backlog,
+        # the slot's release hit the token limit (cannot be increased)
+        for t in range(len(arrivals)):
+            if backlog[t] > 1e-9:
+                window = output[max(0, t - 0) : t + 1]
+                assert window.sum() >= 0  # released something or tokens empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shape_to_leaky_bucket([1.0], rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            shape_to_leaky_bucket([-1.0], rate=1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            shape_to_leaky_bucket([1.0], rate=1.0, burst=-1.0)
+
+
+class TestShapedSource:
+    def test_envelope(self):
+        src = ShapedSource(rate=2.0, burst=4.0)
+        assert src.envelope().rate == 2.0
+        assert src.envelope().burst == 4.0
+
+    def test_shape_matches_function(self):
+        src = ShapedSource(rate=2.0, burst=4.0)
+        arrivals = np.array([10.0, 0.0, 0.0, 0.0])
+        direct, _ = shape_to_leaky_bucket(arrivals, 2.0, 4.0)
+        assert np.allclose(src.shape(arrivals), direct)
+
+    def test_shaping_delay_bound(self):
+        # input (r=1, b=10) into a shaper (r=2, b=4): delay bound
+        # = horizontal deviation = (10 - 4) / 2
+        src = ShapedSource(rate=2.0, burst=4.0)
+        d = src.shaping_delay_bound(leaky_bucket(1.0, 10.0))
+        assert d == pytest.approx((10.0 - 4.0) / 2.0)
+
+    def test_shaping_delay_bound_holds_empirically(self):
+        """Traffic conformant to the input envelope leaves the shaper
+        within the analytic shaping-delay bound."""
+        from repro.scheduling.schedulability import adversarial_arrivals
+
+        input_env = leaky_bucket(1.0, 10.0)
+        src = ShapedSource(rate=2.0, burst=4.0)
+        bound = src.shaping_delay_bound(input_env)
+        arrivals = adversarial_arrivals(input_env, 40)
+        output, _ = shape_to_leaky_bucket(arrivals, src.rate, src.burst)
+        # worst virtual delay of the shaper queue
+        cum_in = np.concatenate([[0.0], np.cumsum(arrivals)])
+        cum_out = np.concatenate([[0.0], np.cumsum(output)])
+        worst = 0
+        for t in range(len(cum_in)):
+            s = t
+            while s < len(cum_out) and cum_out[s] < cum_in[t] - 1e-9:
+                s += 1
+            worst = max(worst, s - t)
+        assert worst <= np.ceil(bound + 1e-9)

@@ -1,0 +1,119 @@
+"""Tests for statistical envelopes and exponential bounding functions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.statistical import (
+    ExponentialBound,
+    StatisticalEnvelope,
+    combine_bounds,
+)
+
+
+class TestExponentialBound:
+    def test_value_and_probability(self):
+        b = ExponentialBound(2.0, 1.0)
+        assert b(0.0) == pytest.approx(2.0)
+        assert b.probability(0.0) == 1.0  # clipped
+        assert b.probability(10.0) == pytest.approx(2.0 * math.exp(-10.0))
+
+    def test_inverse(self):
+        b = ExponentialBound(1.0, 0.5)
+        sigma = b.inverse(1e-9)
+        assert b(sigma) == pytest.approx(1e-9)
+
+    def test_inverse_clips_at_zero(self):
+        b = ExponentialBound(0.5, 1.0)
+        assert b.inverse(0.9) == 0.0
+
+    def test_inverse_of_zero_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            ExponentialBound(1.0, 1.0).inverse(0.0)
+
+    def test_deterministic_case(self):
+        b = ExponentialBound(0.0, 1.0)
+        assert b.is_deterministic()
+        assert b.probability(0.0) == 0.0
+        assert b.inverse(1e-9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBound(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ExponentialBound(1.0, 0.0)
+
+
+class TestCombineBounds:
+    def test_single(self):
+        b = ExponentialBound(3.0, 2.0)
+        assert combine_bounds([b]) == b
+
+    def test_drops_deterministic_members(self):
+        det = ExponentialBound(0.0, 1.0)
+        b = ExponentialBound(3.0, 2.0)
+        assert combine_bounds([det, b]) == b
+
+    def test_all_deterministic(self):
+        det = ExponentialBound(0.0, 1.0)
+        combined = combine_bounds([det, det])
+        assert combined.is_deterministic()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=10.0),
+                st.floats(min_value=0.2, max_value=5.0),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        st.floats(min_value=0.0, max_value=15.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combined_bound_is_valid_union_bound(self, params, sigma):
+        bounds = [ExponentialBound(m, a) for m, a in params]
+        combined = combine_bounds(bounds)
+        # validity: for ANY split the sum of members bounds the probability,
+        # and the combination is the infimum -> it must not exceed the even
+        # split
+        n = len(bounds)
+        even = sum(b(sigma / n) for b in bounds)
+        assert combined(sigma) <= even * (1 + 1e-9)
+
+
+class TestStatisticalEnvelope:
+    def test_basic(self):
+        env = StatisticalEnvelope(
+            PiecewiseLinear.constant_rate(2.0), ExponentialBound(1.0, 0.5)
+        )
+        assert env(3.0) == pytest.approx(6.0)
+        assert env(-1.0) == 0.0
+        assert env.rate == 2.0
+        assert env.epsilon(0.0) == 1.0
+        assert env.epsilon(100.0) < 1e-20
+
+    def test_callable_bound(self):
+        env = StatisticalEnvelope(
+            PiecewiseLinear.constant_rate(1.0), lambda s: 0.5 / (1.0 + s)
+        )
+        assert env.epsilon(1.0) == pytest.approx(0.25)
+        with pytest.raises(TypeError):
+            env.exponential_bound()
+
+    def test_deterministic_embedding(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(1.0, 2.0))
+        assert env.epsilon(0.0) == 0.0
+        assert env.exponential_bound().is_deterministic()
+
+    def test_rejects_bad_curves(self):
+        with pytest.raises(ValueError):
+            StatisticalEnvelope(
+                PiecewiseLinear.from_points([(0.0, 1.0), (1.0, 0.0)], 0.0),
+                ExponentialBound(1.0, 1.0),
+            )
+        with pytest.raises(ValueError):
+            StatisticalEnvelope(PiecewiseLinear.delay(1.0), ExponentialBound(1.0, 1.0))

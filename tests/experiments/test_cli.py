@@ -1,0 +1,64 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.hops == [2, 5, 10]
+        assert not args.full
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig3", "--hops", "2", "--mixes", "0.5", "--full"]
+        )
+        assert args.hops == [2]
+        assert args.mixes == [0.5]
+        assert args.full
+
+    def test_validation_options(self):
+        args = build_parser().parse_args(
+            ["validation", "--slots", "5000", "--epsilon", "0.01"]
+        )
+        assert args.slots == 5000
+        assert args.epsilon == 0.01
+
+
+class TestMain:
+    def test_fig4_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        rc = main(
+            [
+                "fig4",
+                "--hops", "2",
+                "--utilizations", "0.5",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIFO U=50%" in out
+        assert csv_path.exists()
+        assert "series,x,delay" in csv_path.read_text()
+
+    def test_fig2_small(self, capsys):
+        rc = main(["fig2", "--hops", "2", "--utilizations", "0.4"])
+        assert rc == 0
+        assert "BMUX H=2" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        rc = main(["fig3", "--hops", "2", "--mixes", "0.5"])
+        assert rc == 0
+        assert "EDF short H=2" in capsys.readouterr().out
+
+    def test_validation_small(self, capsys):
+        rc = main(["validation", "--hops", "1", "--slots", "4000"])
+        assert rc == 0
+        assert "sound" in capsys.readouterr().out

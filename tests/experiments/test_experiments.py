@@ -1,0 +1,178 @@
+"""Tests for the experiment harness (Figures 2-4 + validation).
+
+Small grids keep these fast; the full series are produced by the
+benchmark harness.  The assertions encode the paper's qualitative
+findings, which is what "reproduced" means for an analytical paper.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import grids, paper_setting
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+from repro.experiments.example3 import run_example3
+from repro.experiments.runner import ExperimentRow, format_table, rows_to_csv
+from repro.experiments.validation import format_validation, run_validation
+
+
+def by_series(rows):
+    out = {}
+    for row in rows:
+        out.setdefault(row.series, []).append(row)
+    for series in out.values():
+        series.sort(key=lambda r: r.x)
+    return out
+
+
+class TestConfig:
+    def test_flow_counts(self):
+        setting = paper_setting()
+        assert setting.flows_for_utilization(0.15) == 100
+        assert setting.flows_for_utilization(0.50) == 333
+        assert setting.utilization_of(100) == pytest.approx(0.15)
+
+    def test_grids(self):
+        assert grids(True)["s_grid"] < grids(False)["s_grid"]
+
+
+class TestRunner:
+    def test_format_table(self):
+        rows = [
+            ExperimentRow("A", 1.0, 2.0),
+            ExperimentRow("A", 2.0, 4.0),
+            ExperimentRow("B", 1.0, math.inf),
+        ]
+        table = format_table(rows)
+        assert "A" in table and "B" in table
+        assert "inf" in table
+        assert "-" in table  # missing B at x=2
+
+    def test_csv(self):
+        rows = [ExperimentRow("A", 1.0, 2.0, {"gamma": 0.5})]
+        csv = rows_to_csv(rows)
+        assert "series,x,delay,gamma" in csv
+        assert "A,1,2,0.5" in csv
+
+
+class TestExample1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_example1(
+            utilizations=(0.40, 0.80), hops=(2, 5), quick=True
+        )
+
+    def test_monotone_in_utilization(self, rows):
+        for series, points in by_series(rows).items():
+            delays = [p.delay for p in points]
+            assert delays == sorted(delays), series
+
+    def test_fifo_between_edf_and_bmux(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        for h in (2, 5):
+            for u in (40.0, 80.0):
+                edf = cells[(f"EDF H={h}", u)]
+                fifo = cells[(f"FIFO H={h}", u)]
+                bmux = cells[(f"BMUX H={h}", u)]
+                assert edf <= fifo * (1 + 1e-9)
+                assert fifo <= bmux * (1 + 1e-9)
+
+    def test_fifo_approaches_bmux_at_h5(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        gap_h2 = 1.0 - cells[("FIFO H=2", 40.0)] / cells[("BMUX H=2", 40.0)]
+        gap_h5 = 1.0 - cells[("FIFO H=5", 40.0)] / cells[("BMUX H=5", 40.0)]
+        assert gap_h5 < gap_h2
+        assert gap_h5 < 0.05
+
+    def test_edf_gap_grows_with_h(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        gap2 = cells[("BMUX H=2", 80.0)] - cells[("EDF H=2", 80.0)]
+        gap5 = cells[("BMUX H=5", 80.0)] - cells[("EDF H=5", 80.0)]
+        assert gap5 > gap2
+
+
+class TestExample2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_example2(mixes=(0.2, 0.8), hops=(2,), quick=True)
+
+    def test_all_series_present(self, rows):
+        names = {r.series for r in rows}
+        assert names == {
+            "BMUX H=2", "FIFO H=2", "EDF short H=2", "EDF long H=2"
+        }
+
+    def test_edf_short_least_sensitive_to_mix(self, rows):
+        series = by_series(rows)
+
+        def sensitivity(name):
+            points = series[name]
+            lo, hi = points[0].delay, points[-1].delay
+            return abs(hi - lo) / max(lo, 1e-12)
+
+        assert sensitivity("EDF short H=2") <= sensitivity("FIFO H=2")
+        assert sensitivity("EDF short H=2") <= sensitivity("BMUX H=2")
+
+    def test_edf_short_below_edf_long(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        for mix in (0.2, 0.8):
+            assert (
+                cells[("EDF short H=2", mix)] <= cells[("EDF long H=2", mix)]
+            )
+
+
+class TestExample3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_example3(
+            hops=(1, 2, 4), utilizations=(0.50,), quick=True
+        )
+
+    def test_monotone_in_hops(self, rows):
+        for series, points in by_series(rows).items():
+            delays = [p.delay for p in points]
+            assert delays == sorted(delays), series
+
+    def test_additive_looser_and_diverging(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        ratio_1 = cells[("BMUX additive U=50%", 1.0)] / cells[("BMUX U=50%", 1.0)]
+        ratio_4 = cells[("BMUX additive U=50%", 4.0)] / cells[("BMUX U=50%", 4.0)]
+        assert ratio_4 > ratio_1
+        assert ratio_4 > 1.5
+
+    def test_fifo_tracks_bmux(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        for h in (2.0, 4.0):
+            fifo = cells[("FIFO U=50%", h)]
+            bmux = cells[("BMUX U=50%", h)]
+            assert fifo <= bmux
+            assert fifo >= 0.9 * bmux  # visually identical in Fig. 4
+
+    def test_edf_below_fifo(self, rows):
+        cells = {(r.series, r.x): r.delay for r in rows}
+        # at H = 1 with affine EBB envelopes the sup in Eq. (23) sits at
+        # t = 0 for every Delta <= 0, so EDF and FIFO coincide exactly;
+        # the differentiation appears from H = 2 on
+        assert cells[("EDF U=50%", 1.0)] == pytest.approx(
+            cells[("FIFO U=50%", 1.0)]
+        )
+        for h in (2.0, 4.0):
+            assert cells[("EDF U=50%", h)] < cells[("FIFO U=50%", h)]
+
+
+class TestValidation:
+    def test_bounds_sound_against_simulation(self):
+        rows = run_validation(
+            schedulers=("FIFO", "BMUX"), hops=(1, 2),
+            slots=8_000, quick=True,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row.sound, format_validation(rows)
+            assert row.bound > 0
+
+    def test_format(self):
+        rows = run_validation(schedulers=("FIFO",), hops=(1,), slots=4_000)
+        text = format_validation(rows)
+        assert "FIFO" in text and "sound" in text

@@ -1,0 +1,143 @@
+"""Tests for the statistical network service curve (Eqs. (30)-(31)).
+
+The flagship check: the generic construction — Theorem-1 leftover curves,
+explicit min-plus convolution, horizontal-deviation delay bound — must
+agree *exactly* with the closed-form theta-optimization of Section IV when
+evaluated at the optimizer's thetas, for every scheduler class.
+"""
+
+import math
+
+import pytest
+
+from repro.arrivals.ebb import EBB
+from repro.arrivals.statistical import ExponentialBound
+from repro.network.convolution import degrade_rate, network_service_curve
+from repro.network.e2e import sigma_for_epsilon
+from repro.network.optimization import homogeneous_hops, solve_exact
+from repro.scheduling.delta import CustomDelta
+from repro.service.curves import (
+    StatisticalServiceCurve,
+    constant_rate_service,
+    rate_latency_service,
+)
+from repro.service.leftover import leftover_service_curve
+
+
+class TestDegradeRate:
+    def test_constant_rate(self):
+        s = constant_rate_service(10.0)
+        d = degrade_rate(s, 3.0)
+        assert d(2.0) == pytest.approx(14.0)
+
+    def test_zero_is_identity(self):
+        s = rate_latency_service(10.0, 1.0)
+        assert degrade_rate(s, 0.0) is s
+
+    def test_shift_contributes_offset(self):
+        base = constant_rate_service(10.0).base
+        s = StatisticalServiceCurve(base, shift=2.0)
+        d = degrade_rate(s, 3.0)
+        # S(t) - 3t at t = 4: 10*(4-2) - 3*4 = 8
+        assert d(4.0) == pytest.approx(8.0)
+
+    def test_excessive_degradation_raises(self):
+        s = constant_rate_service(2.0)
+        with pytest.raises(ValueError):
+            degrade_rate(s, 5.0)
+
+
+class TestNetworkServiceCurve:
+    def test_single_node_passthrough(self):
+        s = constant_rate_service(10.0)
+        assert network_service_curve([s], 0.5) is s
+
+    def test_deterministic_convolution(self):
+        a = rate_latency_service(10.0, 1.0)
+        b = rate_latency_service(8.0, 2.0)
+        net = network_service_curve([a, b], gamma=0.5)
+        # degraded b: [8(t-2)]_+ - 0.5t, clipped at zero -> rate-latency
+        # with rate 7.5 and latency 16/7.5; convolving with (10, 1) adds
+        # the latencies and takes the smaller rate
+        latency = 1.0 + 16.0 / 7.5
+        assert net(latency) == pytest.approx(0.0)
+        assert net(5.0) == pytest.approx(7.5 * (5.0 - latency))
+        assert net.is_deterministic()
+
+    def test_statistical_requires_gamma(self):
+        bound = ExponentialBound(1.0, 1.0)
+        a = StatisticalServiceCurve(constant_rate_service(10.0).base, 0.0, bound)
+        b = StatisticalServiceCurve(constant_rate_service(10.0).base, 0.0, bound)
+        with pytest.raises(ValueError):
+            network_service_curve([a, b], gamma=0.0)
+
+    def test_bounding_function_matches_eq34(self):
+        # homogeneous: eps_net = M H / (1-q)^{(2H-1)/H} e^{-alpha sigma/H}
+        alpha, gamma, h = 0.7, 0.3, 5
+        cross = EBB(1.0, 40.0, alpha)
+        env = cross.sample_path_envelope(gamma)
+        from repro.scheduling.delta import FIFO
+
+        curves = [
+            leftover_service_curve(FIFO(), "j", 100.0, {"c": env}, 0.0)
+            for _ in range(h)
+        ]
+        net = network_service_curve(curves, gamma)
+        q = math.exp(-alpha * gamma)
+        assert net.bound.decay == pytest.approx(alpha / h)
+        assert net.bound.prefactor == pytest.approx(
+            h / (1.0 - q) ** ((2 * h - 1) / h)
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            network_service_curve([], 0.5)
+
+
+class TestGenericMatchesOptimizer:
+    """The generic convolution pipeline reproduces the Section IV bounds."""
+
+    @pytest.mark.parametrize(
+        "delta", [0.0, math.inf, -2.0, 2.0], ids=["fifo", "bmux", "edf-", "edf+"]
+    )
+    @pytest.mark.parametrize("hops", [1, 2, 4])
+    def test_agreement(self, delta, hops):
+        capacity, gamma, epsilon = 100.0, 0.3, 1e-9
+        through = EBB(1.0, 10.0, 0.7)
+        cross = EBB(1.0, 40.0, 0.7)
+        sigma = sigma_for_epsilon(through, [cross] * hops, gamma, epsilon)
+        solution = solve_exact(
+            homogeneous_hops(hops, capacity, gamma, cross.rate, delta), sigma
+        )
+
+        scheduler = CustomDelta({("j", "c"): delta})
+        cross_env = cross.sample_path_envelope(gamma)
+        curves = [
+            leftover_service_curve(scheduler, "j", capacity, {"c": cross_env}, th)
+            for th in solution.thetas
+        ]
+        net = network_service_curve(curves, gamma)
+        d_generic = net.delay_bound(through.sample_path_envelope(gamma), sigma)
+        assert d_generic == pytest.approx(solution.delay, rel=1e-9, abs=1e-9)
+
+    def test_generic_never_beats_optimizer(self):
+        # at *suboptimal* thetas the generic bound can only be worse
+        capacity, gamma, epsilon, hops = 100.0, 0.3, 1e-9, 3
+        through = EBB(1.0, 10.0, 0.7)
+        cross = EBB(1.0, 40.0, 0.7)
+        sigma = sigma_for_epsilon(through, [cross] * hops, gamma, epsilon)
+        solution = solve_exact(
+            homogeneous_hops(hops, capacity, gamma, cross.rate, 0.0), sigma
+        )
+        scheduler = CustomDelta({("j", "c"): 0.0})
+        cross_env = cross.sample_path_envelope(gamma)
+        for thetas in [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.0, 2.0, 4.0)]:
+            curves = [
+                leftover_service_curve(
+                    scheduler, "j", capacity, {"c": cross_env}, th
+                )
+                for th in thetas
+            ]
+            net = network_service_curve(curves, gamma)
+            d = net.delay_bound(through.sample_path_envelope(gamma), sigma)
+            assert d >= solution.delay - 1e-9

@@ -1,0 +1,107 @@
+"""Tests for the worst-case (gamma = 0) end-to-end analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.envelopes import leaky_bucket
+from repro.network.deterministic import (
+    deterministic_e2e_delay_at_theta,
+    deterministic_e2e_delay_bound,
+    pay_bursts_only_once,
+)
+from repro.scheduling.delta import FIFO
+from repro.scheduling.schedulability import min_feasible_delay
+
+THROUGH = leaky_bucket(rate=10.0, burst=50.0)
+CROSS = leaky_bucket(rate=40.0, burst=200.0)
+C = 100.0
+
+
+class TestPayBurstsOnlyOnce:
+    def test_closed_form(self):
+        d = pay_bursts_only_once(THROUGH, CROSS, 3, C)
+        assert d == pytest.approx((50.0 + 3 * 200.0) / 60.0)
+
+    def test_unstable(self):
+        assert pay_bursts_only_once(THROUGH, leaky_bucket(95.0, 1.0), 2, C) == math.inf
+
+    @pytest.mark.parametrize("hops", [1, 2, 4, 8])
+    def test_bmux_construction_matches_pboo(self, hops):
+        """The Eq. (19) curves convolved at theta = 0 ARE the PBOO bound."""
+        d = deterministic_e2e_delay_at_theta(
+            THROUGH, CROSS, hops, C, math.inf, theta=0.0
+        )
+        assert d == pytest.approx(pay_bursts_only_once(THROUGH, CROSS, hops, C))
+
+
+class TestDeterministicE2E:
+    def test_single_node_fifo_matches_theorem2(self):
+        # at H = 1 with the optimal theta the e2e bound equals the exact
+        # schedulability delay
+        envs = {"through": THROUGH, "cross": CROSS}
+        d_exact = min_feasible_delay(FIFO(), envs, C, "through")
+        result = deterministic_e2e_delay_bound(THROUGH, CROSS, 1, C, 0.0)
+        assert result.delay == pytest.approx(d_exact, rel=1e-6)
+
+    def test_fifo_no_worse_than_bmux(self):
+        for hops in (1, 2, 4):
+            fifo = deterministic_e2e_delay_bound(THROUGH, CROSS, hops, C, 0.0)
+            bmux = deterministic_e2e_delay_bound(
+                THROUGH, CROSS, hops, C, math.inf
+            )
+            assert fifo.delay <= bmux.delay * (1 + 1e-9)
+
+    def test_edf_ordering(self):
+        fifo = deterministic_e2e_delay_bound(THROUGH, CROSS, 3, C, 0.0)
+        favored = deterministic_e2e_delay_bound(THROUGH, CROSS, 3, C, -5.0)
+        penalized = deterministic_e2e_delay_bound(THROUGH, CROSS, 3, C, 5.0)
+        assert favored.delay <= fifo.delay * (1 + 1e-9)
+        assert penalized.delay >= fifo.delay * (1 - 1e-9)
+
+    def test_linear_growth_in_hops(self):
+        delays = [
+            deterministic_e2e_delay_bound(THROUGH, CROSS, h, C, math.inf).delay
+            for h in (1, 2, 4, 8)
+        ]
+        # PBOO: affine in H
+        increments = [b - a for a, b in zip(delays, delays[1:])]
+        assert increments[0] == pytest.approx(increments[-1] / 4, rel=1e-6)
+
+    def test_overload_infeasible(self):
+        result = deterministic_e2e_delay_bound(
+            THROUGH, leaky_bucket(95.0, 1.0), 2, C, 0.0
+        )
+        assert not result.feasible
+
+    def test_fixed_theta_is_valid_but_weaker(self):
+        opt = deterministic_e2e_delay_bound(THROUGH, CROSS, 3, C, 0.0)
+        for theta in (0.0, 2.0, 10.0):
+            fixed = deterministic_e2e_delay_bound(
+                THROUGH, CROSS, 3, C, 0.0, theta=theta
+            )
+            assert opt.delay <= fixed.delay * (1 + 1e-6)
+
+    @given(
+        st.floats(min_value=1.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=300.0),
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from([0.0, math.inf, -3.0, 3.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_below_by_single_node_and_above_by_sum(
+        self, r0, b0, rc, bc, hops, delta
+    ):
+        through = leaky_bucket(r0, b0)
+        cross = leaky_bucket(rc, bc)
+        capacity = (r0 + rc) * 1.5 + 10.0
+        e2e = deterministic_e2e_delay_bound(through, cross, hops, capacity, delta)
+        single = deterministic_e2e_delay_bound(through, cross, 1, capacity, delta)
+        assert e2e.delay >= single.delay - 1e-9
+        # additivity upper bound: never worse than H independent nodes
+        # (pay-bursts-only-once is exactly this gain for BMUX)
+        assert e2e.delay <= hops * single.delay + 1e-6 * max(1.0, e2e.delay)

@@ -1,0 +1,87 @@
+"""Property tests for the non-homogeneous extension (paper Sec. IV end)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.ebb import EBB
+from repro.network.e2e import e2e_delay_bound_at_gamma
+from repro.network.path import HeterogeneousPath, HopSpec
+
+THROUGH = EBB(1.0, 10.0, 0.7)
+
+
+@st.composite
+def hop_specs(draw):
+    capacity = draw(st.floats(min_value=80.0, max_value=200.0))
+    rho = draw(st.floats(min_value=5.0, max_value=capacity - 30.0))
+    alpha = draw(st.floats(min_value=0.2, max_value=2.0))
+    delta = draw(st.sampled_from([0.0, math.inf, -3.0, 3.0]))
+    return HopSpec(capacity, EBB(1.0, rho, alpha), delta)
+
+
+class TestHeterogeneousProperties:
+    @given(st.lists(hop_specs(), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_finite_and_monotone_in_prefix(self, specs):
+        """Appending a hop never decreases the end-to-end bound."""
+        path_short = HeterogeneousPath(tuple(specs[:1]))
+        path_full = HeterogeneousPath(tuple(specs))
+        gamma = 0.1
+        short = path_short.delay_bound_at_gamma(THROUGH, 1e-6, gamma)
+        full = path_full.delay_bound_at_gamma(THROUGH, 1e-6, gamma)
+        if not full.feasible:
+            return
+        assert short.feasible
+        assert full.delay >= short.delay - 1e-9
+
+    @given(st.lists(hop_specs(), min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_worse_scheduler_at_any_hop_never_helps(self, specs):
+        """Replacing one hop's scheduler by BMUX can only increase d."""
+        gamma = 0.1
+        base = HeterogeneousPath(tuple(specs)).delay_bound_at_gamma(
+            THROUGH, 1e-6, gamma
+        )
+        if not base.feasible:
+            return
+        worsened = list(specs)
+        worsened[0] = HopSpec(specs[0].capacity, specs[0].cross, math.inf)
+        worse = HeterogeneousPath(tuple(worsened)).delay_bound_at_gamma(
+            THROUGH, 1e-6, gamma
+        )
+        assert worse.delay >= base.delay - 1e-9
+
+    @given(hop_specs(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_replicated_hop_matches_homogeneous_solver(self, spec, hops):
+        gamma = 0.05
+        path = HeterogeneousPath(tuple(spec for _ in range(hops)))
+        hetero = path.delay_bound_at_gamma(THROUGH, 1e-6, gamma)
+        homo = e2e_delay_bound_at_gamma(
+            THROUGH, spec.cross, hops, spec.capacity, spec.delta, 1e-6, gamma
+        )
+        if not homo.feasible:
+            assert not hetero.feasible
+            return
+        assert hetero.delay == pytest.approx(homo.delay, rel=1e-9)
+
+    def test_hop_order_affects_bound(self):
+        """The degraded rates make hop order matter (first hop degrades
+        least); swapping a bottleneck earlier/later changes the bound."""
+        fat = HopSpec(150.0, EBB(1.0, 30.0, 0.7), 0.0)
+        thin = HopSpec(70.0, EBB(1.0, 30.0, 0.7), 0.0)
+        gamma = 0.2
+        a = HeterogeneousPath((fat, thin)).delay_bound_at_gamma(
+            THROUGH, 1e-6, gamma
+        )
+        b = HeterogeneousPath((thin, fat)).delay_bound_at_gamma(
+            THROUGH, 1e-6, gamma
+        )
+        assert a.feasible and b.feasible
+        # both are valid bounds for their respective topologies; they
+        # genuinely differ because the (h-1)gamma degradation lands on
+        # different capacities
+        assert a.delay != pytest.approx(b.delay, rel=1e-12)

@@ -1,0 +1,227 @@
+"""Tests for the theta-optimization solvers (Eqs. (38)-(44))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.optimization import (
+    HopParameters,
+    bmux_delay,
+    fifo_delay,
+    homogeneous_hops,
+    solve_exact,
+    solve_paper,
+    theta_for_x,
+)
+
+
+def feasible(hops, sigma, solution, tol=1e-7):
+    """Check the Eq. (38) constraints at the solver's point."""
+    if solution.x < -tol or any(th < -tol for th in solution.thetas):
+        return False
+    for hop, theta in zip(hops, solution.thetas):
+        lhs = hop.service_rate * (solution.x + theta) - hop.cross_rate * max(
+            0.0, solution.x + min(hop.delta, theta)
+        )
+        if lhs < sigma - tol * max(1.0, sigma):
+            return False
+    return True
+
+
+class TestThetaForX:
+    def test_bmux(self):
+        hop = HopParameters(10.0, 4.0, math.inf)
+        # R(X+theta) - r(X+theta) >= sigma -> theta = sigma/(R-r) - X
+        assert theta_for_x(hop, 12.0, 0.0) == pytest.approx(2.0)
+        assert theta_for_x(hop, 12.0, 5.0) == 0.0
+
+    def test_fifo(self):
+        hop = HopParameters(10.0, 4.0, 0.0)
+        # R(X+theta) - r X >= sigma
+        assert theta_for_x(hop, 12.0, 1.0) == pytest.approx((12.0 + 4.0) / 10.0 - 1.0)
+
+    def test_negative_delta_clipped(self):
+        hop = HopParameters(10.0, 4.0, -3.0)
+        # X < 3: cross bracket clipped to zero
+        assert theta_for_x(hop, 12.0, 1.0) == pytest.approx(12.0 / 10.0 - 1.0)
+        # X > 3: bracket active (theta clipped at zero when satisfied)
+        assert theta_for_x(hop, 12.0, 5.0) == 0.0
+        assert theta_for_x(hop, 40.0, 3.5) == pytest.approx(
+            (40.0 + 4.0 * 0.5) / 10.0 - 3.5
+        )
+
+    def test_positive_delta_branches(self):
+        hop = HopParameters(10.0, 4.0, 0.5)
+        # low branch: theta = sigma/(R-r) - X if <= Delta
+        assert theta_for_x(hop, 12.0, 1.6) == pytest.approx(0.4)
+        # high branch
+        theta = theta_for_x(hop, 12.0, 0.0)
+        assert theta > 0.5
+        lhs = 10.0 * theta - 4.0 * min(0.5, theta)
+        assert lhs == pytest.approx(12.0)
+
+    def test_minus_inf_excludes_cross(self):
+        hop = HopParameters(10.0, 4.0, -math.inf)
+        assert theta_for_x(hop, 12.0, 0.0) == pytest.approx(1.2)
+
+    def test_monotone_decreasing_in_x(self):
+        hop = HopParameters(10.0, 4.0, 1.0)
+        values = [theta_for_x(hop, 12.0, x) for x in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_saturated_hop_rejected(self):
+        with pytest.raises(ValueError):
+            HopParameters(4.0, 5.0, 0.0)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("hops_n", [1, 2, 5, 10, 20])
+    def test_bmux_matches_eq43(self, hops_n):
+        c, gamma, rho_c, sigma = 100.0, 0.3, 40.0, 25.0
+        params = homogeneous_hops(hops_n, c, gamma, rho_c, math.inf)
+        sol = solve_exact(params, sigma)
+        assert sol.delay == pytest.approx(bmux_delay(hops_n, c, gamma, rho_c, sigma))
+        # Eq. (43): an all-thetas-zero point attains the optimum (the exact
+        # solver may return a different point on the same flat optimum)
+        x_eq43 = bmux_delay(hops_n, c, gamma, rho_c, sigma)
+        assert all(
+            theta_for_x(hop, sigma, x_eq43) == pytest.approx(0.0, abs=1e-9)
+            for hop in params
+        )
+
+    @pytest.mark.parametrize("hops_n", [1, 2, 5, 10, 20])
+    def test_fifo_matches_eq44(self, hops_n):
+        c, gamma, rho_c, sigma = 100.0, 0.3, 40.0, 25.0
+        params = homogeneous_hops(hops_n, c, gamma, rho_c, 0.0)
+        sol = solve_exact(params, sigma)
+        assert sol.delay == pytest.approx(
+            fifo_delay(hops_n, c, gamma, rho_c, sigma), rel=1e-9
+        )
+
+    def test_single_hop_theta_equals_delay(self):
+        # paper: "For H = 1 ... the optimal choice is theta_1 = d"
+        c, gamma, rho_c, sigma = 100.0, 0.3, 40.0, 25.0
+        for delta in (0.0, math.inf, -2.0, 2.0):
+            params = homogeneous_hops(1, c, gamma, rho_c, delta)
+            sol = solve_exact(params, sigma)
+            assert sol.x + sol.thetas[0] == pytest.approx(sol.delay)
+            # theta may absorb the whole delay (X = 0) for finite delta
+            if delta <= 0:
+                pass  # X can be positive when Delta < 0
+            else:
+                assert sol.delay > 0
+
+    def test_fifo_approaches_bmux_for_low_cross_rate(self):
+        # paper Sec. IV: FIFO -> BMUX when rho_c is small
+        c, gamma, sigma, hops_n = 100.0, 0.3, 25.0, 10
+        gaps = []
+        for rho_c in (60.0, 30.0, 5.0):
+            f = solve_exact(homogeneous_hops(hops_n, c, gamma, rho_c, 0.0), sigma)
+            b = bmux_delay(hops_n, c, gamma, rho_c, sigma)
+            gaps.append((b - f.delay) / b)
+        assert gaps[0] > gaps[-1] >= 0.0
+
+
+class TestExactSolver:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.01, max_value=0.8),
+        st.floats(min_value=0.0, max_value=60.0),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.sampled_from([0.0, math.inf, -math.inf, -5.0, -0.5, 0.5, 5.0]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_solution_is_feasible(self, hops_n, gamma, rho_c, sigma, delta):
+        c = 100.0
+        if c - (hops_n - 1) * gamma <= rho_c + gamma + 1.0:
+            return
+        params = homogeneous_hops(hops_n, c, gamma, rho_c, delta)
+        sol = solve_exact(params, sigma)
+        assert feasible(params, sigma, sol)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=60.0),
+        st.sampled_from([0.0, math.inf, -4.0, 4.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_beats_dense_scan(self, hops_n, gamma, rho_c, sigma, delta):
+        """The exact optimum is no worse than a dense scan over X."""
+        c = 100.0
+        params = homogeneous_hops(hops_n, c, gamma, rho_c, delta)
+        sol = solve_exact(params, sigma)
+        x_hi = sol.x * 2 + sigma / (c - rho_c - hops_n * gamma) * 2 + 1.0
+        scan = min(
+            x + sum(theta_for_x(hop, sigma, x) for hop in params)
+            for x in [x_hi * i / 400.0 for i in range(401)]
+        )
+        assert sol.delay <= scan + 1e-9 * max(1.0, scan)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.1, max_value=60.0),
+        st.sampled_from([0.0, math.inf, -4.0, -0.5, 0.5, 4.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_paper_procedure_is_valid_and_near_exact(self, hops_n, sigma, delta):
+        c, gamma, rho_c = 100.0, 0.3, 40.0
+        params = homogeneous_hops(hops_n, c, gamma, rho_c, delta)
+        exact = solve_exact(params, sigma)
+        paper = solve_paper(params, sigma)
+        assert feasible(params, sigma, paper)
+        assert paper.delay >= exact.delay - 1e-9
+        # the paper notes its choice is near-optimal.  For Delta >= 0 the
+        # gap stays within a few percent; for Delta < 0 the Eq. (42) choice
+        # X = -Delta can overshoot badly when the delay scale is below
+        # |Delta| (the exact solver is strictly better there), so the
+        # near-optimality check applies only in the paper's regime.
+        if delta >= 0 or sigma / (c - rho_c - hops_n * gamma) >= -2 * delta:
+            assert paper.delay <= exact.delay * 1.10 + 1e-9
+
+    def test_sigma_zero_gives_zero_delay_for_nonneg_delta(self):
+        params = homogeneous_hops(4, 100.0, 0.3, 40.0, 0.0)
+        sol = solve_exact(params, 0.0)
+        assert sol.delay == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_in_sigma(self):
+        params = homogeneous_hops(5, 100.0, 0.3, 40.0, 0.0)
+        delays = [solve_exact(params, s).delay for s in (1.0, 5.0, 25.0, 100.0)]
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+
+    def test_monotone_in_delta(self):
+        # larger Delta (more cross precedence) can only increase delay
+        sigma = 25.0
+        delays = []
+        for delta in (-10.0, -1.0, 0.0, 1.0, 10.0, math.inf):
+            params = homogeneous_hops(5, 100.0, 0.3, 40.0, delta)
+            delays.append(solve_exact(params, sigma).delay)
+        assert all(b >= a - 1e-9 for a, b in zip(delays, delays[1:]))
+
+
+class TestHeterogeneousHops:
+    def test_mixed_deltas_solved_exactly(self):
+        params = [
+            HopParameters(100.0, 40.3, 0.0),
+            HopParameters(99.7, 30.3, math.inf),
+            HopParameters(99.4, 50.3, -2.0),
+        ]
+        sol = solve_exact(params, 20.0)
+        assert feasible(params, 20.0, sol)
+
+    def test_paper_procedure_rejects_mixed_deltas(self):
+        params = [
+            HopParameters(100.0, 40.3, 0.0),
+            HopParameters(99.7, 30.3, math.inf),
+        ]
+        with pytest.raises(ValueError):
+            solve_paper(params, 20.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            solve_exact([], 1.0)
+        with pytest.raises(ValueError):
+            solve_paper([], 1.0)

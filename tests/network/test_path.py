@@ -1,0 +1,101 @@
+"""Tests for path descriptions (homogeneous and heterogeneous)."""
+
+import math
+
+import pytest
+
+from repro.arrivals.ebb import EBB
+from repro.network import EndToEndAnalysis
+from repro.network.e2e import e2e_delay_bound
+from repro.network.path import HeterogeneousPath, HomogeneousPath, HopSpec
+
+THROUGH = EBB(1.0, 10.0, 0.7)
+CROSS = EBB(1.0, 40.0, 0.7)
+
+
+class TestHomogeneousPath:
+    def test_delegates_to_functional_api(self):
+        path = HomogeneousPath(hops=4, capacity=100.0, delta=0.0)
+        via_path = path.delay_bound(THROUGH, CROSS, 1e-9, gamma=0.3)
+        direct = e2e_delay_bound(
+            THROUGH, CROSS, 4, 100.0, 0.0, 1e-9, gamma=0.3
+        )
+        assert via_path.delay == pytest.approx(direct.delay)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HomogeneousPath(hops=0, capacity=100.0, delta=0.0)
+        with pytest.raises(ValueError):
+            HomogeneousPath(hops=2, capacity=0.0, delta=0.0)
+        with pytest.raises(ValueError):
+            HomogeneousPath(hops=2, capacity=10.0, delta=math.nan)
+
+
+class TestHeterogeneousPath:
+    def test_uniform_nodes_match_homogeneous(self):
+        nodes = tuple(HopSpec(100.0, CROSS, 0.0) for _ in range(4))
+        hetero = HeterogeneousPath(nodes)
+        r_het = hetero.delay_bound_at_gamma(THROUGH, 1e-9, 0.3)
+        r_hom = e2e_delay_bound(THROUGH, CROSS, 4, 100.0, 0.0, 1e-9, gamma=0.3)
+        assert r_het.delay == pytest.approx(r_hom.delay, rel=1e-12)
+        assert r_het.sigma == pytest.approx(r_hom.sigma, rel=1e-12)
+
+    def test_bottleneck_dominates(self):
+        fat = HopSpec(1000.0, EBB(1.0, 100.0, 0.7), 0.0)
+        thin = HopSpec(60.0, CROSS, 0.0)
+        wide_path = HeterogeneousPath((fat, fat, fat))
+        mixed_path = HeterogeneousPath((fat, thin, fat))
+        d_wide = wide_path.delay_bound(THROUGH, 1e-9).delay
+        d_mixed = mixed_path.delay_bound(THROUGH, 1e-9).delay
+        assert d_mixed > d_wide
+
+    def test_mixed_schedulers_per_node(self):
+        nodes = (
+            HopSpec(100.0, CROSS, 0.0),       # FIFO node
+            HopSpec(100.0, CROSS, math.inf),  # BMUX node
+            HopSpec(100.0, CROSS, -2.0),      # EDF node favoring through
+        )
+        path = HeterogeneousPath(nodes)
+        r = path.delay_bound_at_gamma(THROUGH, 1e-9, 0.3)
+        assert r.feasible
+        # bracket between all-favored and all-BMUX paths
+        lo = HeterogeneousPath(
+            tuple(HopSpec(100.0, CROSS, -2.0) for _ in range(3))
+        ).delay_bound_at_gamma(THROUGH, 1e-9, 0.3)
+        hi = HeterogeneousPath(
+            tuple(HopSpec(100.0, CROSS, math.inf) for _ in range(3))
+        ).delay_bound_at_gamma(THROUGH, 1e-9, 0.3)
+        assert lo.delay - 1e-9 <= r.delay <= hi.delay + 1e-9
+
+    def test_distinct_decays_combine(self):
+        nodes = (
+            HopSpec(100.0, EBB(1.0, 40.0, 0.7), 0.0),
+            HopSpec(100.0, EBB(1.0, 40.0, 1.4), 0.0),
+        )
+        path = HeterogeneousPath(nodes)
+        r = path.delay_bound_at_gamma(THROUGH, 1e-9, 0.3)
+        assert r.feasible
+
+    def test_saturated_hop_rejected(self):
+        with pytest.raises(ValueError):
+            HopSpec(10.0, EBB(1.0, 40.0, 0.7), 0.0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPath(())
+
+    def test_infeasible_headroom(self):
+        nodes = (HopSpec(100.0, EBB(1.0, 95.0, 0.7), 0.0),)
+        path = HeterogeneousPath(nodes)
+        r = path.delay_bound(THROUGH, 1e-9)
+        assert not r.feasible
+
+
+class TestFacade:
+    def test_end_to_end_analysis(self):
+        path = HomogeneousPath(hops=3, capacity=100.0, delta=math.inf)
+        analysis = EndToEndAnalysis(path, THROUGH, CROSS)
+        net = analysis.delay_bound(1e-9, gamma=0.3)
+        add = analysis.additive_delay_bound(1e-9, gamma=0.3)
+        assert net.feasible and add.feasible
+        assert add.delay >= net.delay

@@ -1,0 +1,108 @@
+"""Tests for the node-by-node additive baseline (Example 3)."""
+
+import math
+
+import pytest
+
+from repro.arrivals.ebb import EBB
+from repro.arrivals.mmoo import MMOOParameters
+from repro.network.e2e import e2e_delay_bound
+from repro.network.pernode import (
+    additive_pernode_delay_bound,
+    additive_pernode_delay_bound_at_gamma,
+    additive_pernode_delay_bound_mmoo,
+)
+from repro.network.scaling import fit_growth_exponent
+
+THROUGH = EBB(1.0, 10.0, 0.7)
+CROSS = EBB(1.0, 40.0, 0.7)
+C = 100.0
+
+
+class TestAdditiveBasics:
+    def test_decays_degrade_harmonically(self):
+        r = additive_pernode_delay_bound_at_gamma(THROUGH, CROSS, 4, C, 1e-9, 0.3)
+        assert r.feasible
+        decays = r.per_node_decays
+        # node h combines a decay-alpha/h through bound with the alpha cross
+        # bound: alpha/(h+1)
+        for h, decay in enumerate(decays, start=1):
+            assert decay == pytest.approx(0.7 / (h + 1), rel=1e-9)
+
+    def test_single_node_matches_network_bound_shape(self):
+        # H = 1: the additive analysis is a single-node bound and should be
+        # in the same ballpark as the network-service-curve BMUX bound
+        add = additive_pernode_delay_bound(THROUGH, CROSS, 1, C, 1e-9)
+        net = e2e_delay_bound(THROUGH, CROSS, 1, C, math.inf, 1e-9)
+        assert add.delay == pytest.approx(net.delay, rel=0.05)
+
+    def test_additive_much_looser_on_long_paths(self):
+        hops = 8
+        add = additive_pernode_delay_bound(THROUGH, CROSS, hops, C, 1e-9)
+        net = e2e_delay_bound(THROUGH, CROSS, hops, C, math.inf, 1e-9)
+        assert add.delay > 2.0 * net.delay
+
+    def test_superlinear_growth(self):
+        # the additive exponent keeps accelerating toward its cubic
+        # asymptote; at moderate H it already clears 1.9 while the
+        # network-service-curve bound stays near linear
+        hs = [4, 8, 16, 32]
+        adds = [
+            additive_pernode_delay_bound(THROUGH, CROSS, h, C, 1e-9).delay
+            for h in hs
+        ]
+        nets = [
+            e2e_delay_bound(THROUGH, CROSS, h, C, math.inf, 1e-9).delay
+            for h in hs
+        ]
+        exp_add = fit_growth_exponent(hs, adds)
+        exp_net = fit_growth_exponent(hs, nets)
+        # network-service-curve bounds grow ~linearly (Theta(H log H));
+        # additive bounds grow polynomially faster
+        assert exp_net < 1.5
+        assert exp_add > 1.9
+        assert exp_add > exp_net + 0.8
+
+    def test_optimized_gamma_no_worse(self):
+        opt = additive_pernode_delay_bound(THROUGH, CROSS, 4, C, 1e-9)
+        for gamma in (0.05, 0.3, 1.0):
+            fixed = additive_pernode_delay_bound_at_gamma(
+                THROUGH, CROSS, 4, C, 1e-9, gamma
+            )
+            assert opt.delay <= fixed.delay * (1 + 1e-6)
+
+    def test_infeasible_cases(self):
+        heavy = EBB(1.0, 95.0, 0.7)
+        assert not additive_pernode_delay_bound(THROUGH, heavy, 2, C, 1e-9).feasible
+        assert not additive_pernode_delay_bound_at_gamma(
+            THROUGH, CROSS, 5, C, 1e-9, 20.0
+        ).feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            additive_pernode_delay_bound_at_gamma(THROUGH, CROSS, 0, C, 1e-9, 0.3)
+        with pytest.raises(ValueError):
+            additive_pernode_delay_bound_at_gamma(THROUGH, CROSS, 2, C, 1e-9, 0.0)
+        with pytest.raises(ValueError):
+            additive_pernode_delay_bound_at_gamma(THROUGH, CROSS, 2, C, 0.0, 0.3)
+
+
+class TestAdditiveMMOO:
+    def test_mmoo_baseline_runs_and_dominates(self):
+        traffic = MMOOParameters.paper_defaults()
+        from repro.network.e2e import e2e_delay_bound_mmoo
+
+        n0 = nc = 150
+        add = additive_pernode_delay_bound_mmoo(
+            traffic, n0, nc, 4, 100.0, 1e-9, s_grid=8, gamma_grid=8
+        )
+        net = e2e_delay_bound_mmoo(
+            traffic, n0, nc, 4, 100.0, math.inf, 1e-9, s_grid=8, gamma_grid=8
+        )
+        assert add.feasible
+        assert add.delay > net.delay
+
+    def test_mmoo_overload_infeasible(self):
+        traffic = MMOOParameters.paper_defaults()
+        r = additive_pernode_delay_bound_mmoo(traffic, 400, 300, 2, 100.0, 1e-9)
+        assert not r.feasible

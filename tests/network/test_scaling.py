@@ -1,0 +1,60 @@
+"""Tests for the scaling utilities."""
+
+import math
+
+import pytest
+
+from repro.network.scaling import (
+    fit_growth_exponent,
+    h_log_h_reference,
+    is_superlinear,
+)
+
+
+class TestReferenceCurve:
+    def test_anchored_at_first_point(self):
+        hs = [2, 5, 10]
+        ref = h_log_h_reference(hs, anchor=7.0)
+        assert ref[0] == pytest.approx(7.0)
+        assert len(ref) == 3
+
+    def test_shape(self):
+        hs = [1, 2, 4, 8]
+        ref = h_log_h_reference(hs, anchor=1.0)
+        # H log(1+H) grows slightly faster than linear
+        ratios = [b / a for a, b in zip(ref, ref[1:])]
+        assert all(r > 2.0 for r in ratios)
+
+    def test_empty(self):
+        assert h_log_h_reference([], 1.0) == []
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        hs = [1, 2, 4, 8, 16]
+        assert fit_growth_exponent(hs, [3.0 * h for h in hs]) == pytest.approx(1.0)
+
+    def test_cubic(self):
+        hs = [1, 2, 4, 8, 16]
+        assert fit_growth_exponent(hs, [h**3 for h in hs]) == pytest.approx(3.0)
+
+    def test_h_log_h_is_mildly_superlinear(self):
+        hs = [2, 4, 8, 16, 32, 64]
+        values = [h * math.log(h) for h in hs]
+        exponent = fit_growth_exponent(hs, values)
+        assert 1.0 < exponent < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1, 2], [1.0, -1.0])
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1, 2], [1.0, math.inf])
+
+
+class TestSuperlinear:
+    def test_classification(self):
+        hs = [1, 2, 4, 8, 16]
+        assert is_superlinear(hs, [float(h**2) for h in hs])
+        assert not is_superlinear(hs, [float(h) for h in hs])

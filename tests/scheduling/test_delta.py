@@ -1,0 +1,116 @@
+"""Tests for the Delta-scheduler abstraction."""
+
+import math
+
+import pytest
+
+from repro.scheduling.delta import BMUX, EDF, FIFO, CustomDelta, StaticPriority
+
+
+class TestFIFO:
+    def test_all_zero(self):
+        s = FIFO()
+        assert s.delta("a", "b") == 0.0
+        assert s.delta("a", "a") == 0.0
+
+    def test_capped(self):
+        s = FIFO()
+        assert s.delta_capped("a", "b", 5.0) == 0.0
+        assert s.delta_capped("a", "b", -3.0) == -3.0
+
+    def test_relevant_flows_everyone(self):
+        s = FIFO()
+        assert s.relevant_flows("a", ["a", "b", "c"]) == ["a", "b", "c"]
+        assert s.cross_flows("a", ["a", "b", "c"]) == ["b", "c"]
+
+    def test_locally_fifo(self):
+        FIFO().validate_locally_fifo(["a", "b"])
+
+
+class TestStaticPriority:
+    def test_matrix_matches_paper(self):
+        s = StaticPriority({"hi": 2, "mid": 1, "lo": 0})
+        # k lower priority than j -> -inf
+        assert s.delta("mid", "lo") == -math.inf
+        # same priority -> 0
+        assert s.delta("mid", "mid") == 0.0
+        # k higher priority -> +inf
+        assert s.delta("mid", "hi") == math.inf
+
+    def test_relevant_flows_excludes_lower(self):
+        s = StaticPriority({"hi": 2, "mid": 1, "lo": 0})
+        assert s.relevant_flows("mid", ["hi", "mid", "lo"]) == ["hi", "mid"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StaticPriority({})
+
+    def test_priority_of(self):
+        s = StaticPriority({"a": 3})
+        assert s.priority_of("a") == 3
+        with pytest.raises(KeyError):
+            s.priority_of("zz")
+
+
+class TestBMUX:
+    def test_low_flow_yields_to_all(self):
+        s = BMUX("through")
+        assert s.delta("through", "cross1") == math.inf
+        assert s.delta("through", "through") == 0.0
+
+    def test_others_never_yield_to_low(self):
+        s = BMUX("through")
+        assert s.delta("cross1", "through") == -math.inf
+        assert s.delta("cross1", "cross2") == 0.0
+
+    def test_locally_fifo(self):
+        BMUX("x").validate_locally_fifo(["x", "y"])
+
+
+class TestEDF:
+    def test_delta_is_deadline_difference(self):
+        s = EDF({"a": 2.0, "b": 10.0})
+        assert s.delta("a", "b") == pytest.approx(-8.0)
+        assert s.delta("b", "a") == pytest.approx(8.0)
+        assert s.delta("a", "a") == 0.0
+
+    def test_fifo_is_edf_with_equal_deadlines(self):
+        s = EDF({"a": 5.0, "b": 5.0})
+        assert s.delta("a", "b") == 0.0
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            EDF({"a": -1.0})
+        with pytest.raises(ValueError):
+            EDF({"a": math.inf})
+        with pytest.raises(ValueError):
+            EDF({})
+
+    def test_deadline_of(self):
+        s = EDF({"a": 2.0})
+        assert s.deadline_of("a") == 2.0
+
+
+class TestCustomDelta:
+    def test_lookup_and_default(self):
+        s = CustomDelta({("a", "b"): 3.0}, default=-1.0)
+        assert s.delta("a", "b") == 3.0
+        assert s.delta("b", "a") == -1.0
+        assert s.delta("a", "a") == 0.0  # diagonal defaults to 0
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError):
+            CustomDelta({("a", "a"): 1.0})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            CustomDelta({("a", "b"): math.nan})
+
+    def test_validate_locally_fifo_catches_bad_matrix(self):
+        # a custom scheduler whose diagonal is overridden through default
+        s = CustomDelta({}, default=0.0)
+        s.validate_locally_fifo(["a"])  # fine
+
+    def test_name(self):
+        s = CustomDelta({}, name="my-sched")
+        assert "my-sched" in repr(s)

@@ -1,0 +1,147 @@
+"""Tests for the factored service-curve representation."""
+
+import math
+
+import pytest
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.statistical import ExponentialBound, StatisticalEnvelope
+from repro.service.curves import (
+    StatisticalServiceCurve,
+    constant_rate_service,
+    delay_service,
+    rate_latency_service,
+)
+
+
+class TestConstruction:
+    def test_constant_rate(self):
+        s = constant_rate_service(10.0)
+        assert s(0.0) == 0.0
+        assert s(2.0) == pytest.approx(20.0)
+        assert s.is_deterministic()
+        assert s.long_term_rate == 10.0
+
+    def test_rate_latency(self):
+        s = rate_latency_service(5.0, 2.0)
+        assert s(2.0) == 0.0
+        assert s(4.0) == pytest.approx(10.0)
+
+    def test_shift_encodes_jump(self):
+        # base with base(0) = 3 and shift 2: S jumps from 0 to 3 at t = 2+
+        base = PiecewiseLinear.affine(1.0, 3.0)
+        s = StatisticalServiceCurve(base, shift=2.0)
+        assert s(2.0) == 0.0
+        assert s(2.0 + 1e-9) == pytest.approx(3.0, abs=1e-6)
+        assert s(5.0) == pytest.approx(6.0)
+
+    def test_delay_service(self):
+        s = delay_service(3.0)
+        env = StatisticalEnvelope(
+            PiecewiseLinear.token_bucket(1.0, 5.0), ExponentialBound(1.0, 1.0)
+        )
+        assert s.delay_bound(env, 0.0) == pytest.approx(3.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalServiceCurve(PiecewiseLinear.constant_rate(1.0), shift=-1.0)
+        with pytest.raises(ValueError):
+            StatisticalServiceCurve(PiecewiseLinear.delay(1.0))
+        decreasing = PiecewiseLinear.from_points([(0.0, 5.0), (1.0, 0.0)], 0.0)
+        with pytest.raises(ValueError):
+            StatisticalServiceCurve(decreasing)
+
+
+class TestConvolution:
+    def test_rate_latency_composition(self):
+        a = rate_latency_service(4.0, 1.0)
+        b = rate_latency_service(6.0, 2.0)
+        c = a.convolve(b)
+        assert c.shift == 0.0
+        assert c(3.0) == 0.0
+        assert c(5.0) == pytest.approx(8.0)
+        assert c.long_term_rate == 4.0
+
+    def test_shifts_add(self):
+        a = StatisticalServiceCurve(PiecewiseLinear.constant_rate(5.0), shift=1.0)
+        b = StatisticalServiceCurve(PiecewiseLinear.constant_rate(5.0), shift=2.0)
+        c = a.convolve(b)
+        assert c.shift == pytest.approx(3.0)
+        assert c(3.0) == 0.0
+        assert c(4.0) == pytest.approx(5.0)
+
+    def test_bounds_combine(self):
+        a = StatisticalServiceCurve(
+            PiecewiseLinear.constant_rate(5.0), 0.0, ExponentialBound(1.0, 1.0)
+        )
+        b = StatisticalServiceCurve(
+            PiecewiseLinear.constant_rate(5.0), 0.0, ExponentialBound(1.0, 1.0)
+        )
+        c = a.convolve(b)
+        assert not c.is_deterministic()
+        assert c.bound.decay == pytest.approx(0.5)
+
+
+class TestDelayBound:
+    def test_textbook(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(1.0, 4.0))
+        s = rate_latency_service(2.0, 3.0)
+        assert s.delay_bound(env, 0.0) == pytest.approx(5.0)
+
+    def test_sigma_increases_delay(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(1.0, 4.0))
+        s = rate_latency_service(2.0, 3.0)
+        d0 = s.delay_bound(env, 0.0)
+        d1 = s.delay_bound(env, 2.0)
+        assert d1 == pytest.approx(d0 + 1.0)  # sigma / rate
+
+    def test_shift_adds_to_delay(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(1.0, 4.0))
+        plain = rate_latency_service(2.0, 0.0)
+        shifted = StatisticalServiceCurve(plain.base, shift=3.0)
+        assert shifted.delay_bound(env, 0.0) == pytest.approx(
+            plain.delay_bound(env, 0.0) + 3.0
+        )
+
+    def test_unstable_is_infinite(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(3.0, 0.0))
+        s = constant_rate_service(2.0)
+        assert s.delay_bound(env, 0.0) == math.inf
+
+    def test_negative_sigma_rejected(self):
+        env = StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(1.0, 1.0))
+        with pytest.raises(ValueError):
+            constant_rate_service(2.0).delay_bound(env, -1.0)
+
+    def test_epsilon(self):
+        s = StatisticalServiceCurve(
+            PiecewiseLinear.constant_rate(1.0), 0.0, ExponentialBound(2.0, 1.0)
+        )
+        assert s.epsilon(0.0) == 1.0
+        assert s.epsilon(10.0) == pytest.approx(2.0 * math.exp(-10.0))
+
+
+class TestNondecreasingHull:
+    def test_hull_of_dipping_curve(self):
+        f = PiecewiseLinear.from_points(
+            [(0.0, 0.0), (1.0, 4.0), (2.0, 1.0), (3.0, 1.0)], final_slope=2.0
+        )
+        hull = f.nondecreasing_hull()
+        assert hull.is_nondecreasing()
+        # hull(t) = inf_{s>=t} f(s)
+        for t in (0.0, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0):
+            brute = min(f(t + u) for u in [x * 0.01 for x in range(800)])
+            assert hull(t) == pytest.approx(brute, abs=1e-6)
+
+    def test_hull_identity_for_monotone(self):
+        f = PiecewiseLinear.rate_latency(2.0, 1.0)
+        assert f.nondecreasing_hull() is f
+
+    def test_hull_rejects_negative_tail(self):
+        f = PiecewiseLinear.from_points([(0.0, 5.0)], final_slope=-1.0)
+        with pytest.raises(ValueError):
+            f.nondecreasing_hull()
+
+    def test_hull_rejects_cutoff(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.delay(1.0).nondecreasing_hull()

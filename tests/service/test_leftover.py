@@ -1,0 +1,224 @@
+"""Tests for Theorem 1's leftover service curve.
+
+Cross-checks against closed forms for FIFO, BMUX/SP, and EDF, plus the
+consistency with Theorem 2's schedulability condition (Section III-B).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.ebb import EBB
+from repro.arrivals.envelopes import leaky_bucket
+from repro.arrivals.statistical import ExponentialBound, StatisticalEnvelope
+from repro.scheduling.delta import BMUX, EDF, FIFO, StaticPriority
+from repro.scheduling.schedulability import min_feasible_delay
+from repro.service.leftover import (
+    deterministic_leftover_service,
+    leftover_service_curve,
+)
+
+
+def env_rate(rate):
+    """A burst-free statistical envelope G(t) = rate * t with a unit bound."""
+    return StatisticalEnvelope(
+        PiecewiseLinear.constant_rate(rate), ExponentialBound(1.0, 1.0)
+    )
+
+
+def env_bucket(rate, burst, m=1.0, alpha=1.0):
+    return StatisticalEnvelope(
+        PiecewiseLinear.token_bucket(rate, burst), ExponentialBound(m, alpha)
+    )
+
+
+class TestClosedForms:
+    def test_bmux_leftover_is_rate_function_of_t_plus_theta(self):
+        # BMUX: Delta = +inf -> Delta(theta) = theta; the base is
+        # C(u + theta) - G(u + theta) = (C - rho)(u + theta)
+        c, rho, theta = 10.0, 4.0, 2.0
+        s = leftover_service_curve(BMUX("j"), "j", c, {"c": env_rate(rho)}, theta)
+        assert s.shift == theta
+        for t in (theta + 0.5, theta + 3.0):
+            assert s(t) == pytest.approx((c - rho) * t)
+
+    def test_fifo_leftover(self):
+        # FIFO: Delta = 0 -> base(u) = C(u + theta) - G(u) =
+        # (C - rho) u + C theta
+        c, rho, theta = 10.0, 4.0, 2.0
+        s = leftover_service_curve(FIFO(), "j", c, {"c": env_rate(rho)}, theta)
+        for t in (theta + 0.5, theta + 3.0):
+            assert s(t) == pytest.approx((c - rho) * (t - theta) + c * theta)
+
+    def test_fifo_jump_at_theta(self):
+        c, rho, theta = 10.0, 4.0, 2.0
+        s = leftover_service_curve(FIFO(), "j", c, {"c": env_rate(rho)}, theta)
+        assert s(theta) == 0.0
+        assert s(theta + 1e-9) == pytest.approx(c * theta, rel=1e-6)
+
+    def test_edf_negative_delta_favored_flow(self):
+        # Delta_{j,c} = d_j - d_c < 0: cross traffic counted only from
+        # u >= |Delta| -> base is C(u+theta) - rho [u - |Delta|]_+
+        c, rho, theta = 10.0, 4.0, 3.0
+        edf = EDF({"j": 1.0, "c": 3.0})  # Delta = -2
+        s = leftover_service_curve(edf, "j", c, {"c": env_rate(rho)}, theta)
+        for u in (0.5, 1.5):  # u < 2: no cross traffic subtracted
+            assert s(theta + u) == pytest.approx(c * (u + theta))
+        for u in (2.5, 4.0):
+            assert s(theta + u) == pytest.approx(c * (u + theta) - rho * (u - 2.0))
+
+    def test_edf_positive_delta_penalized_flow(self):
+        # Delta > 0, theta < Delta: Delta(theta) = theta -> same as BMUX
+        c, rho = 10.0, 4.0
+        edf = EDF({"j": 5.0, "c": 1.0})  # Delta = +4
+        theta = 2.0  # < Delta
+        s_edf = leftover_service_curve(edf, "j", c, {"c": env_rate(rho)}, theta)
+        s_bm = leftover_service_curve(BMUX("j"), "j", c, {"c": env_rate(rho)}, theta)
+        for t in (2.5, 4.0, 8.0):
+            assert s_edf(t) == pytest.approx(s_bm(t))
+
+    def test_sp_excludes_lower_priority(self):
+        # lower-priority cross traffic does not appear in the leftover curve
+        sched = StaticPriority({"j": 1, "lo": 0, "hi": 2})
+        c = 10.0
+        s = leftover_service_curve(
+            sched,
+            "j",
+            c,
+            {"lo": env_rate(100.0), "hi": env_rate(3.0)},
+            theta=1.0,
+        )
+        # only "hi" is subtracted, shifted as BMUX (Delta=+inf)
+        for t in (1.5, 3.0):
+            assert s(t) == pytest.approx((c - 3.0) * t)
+
+    def test_no_cross_traffic_full_capacity(self):
+        s = leftover_service_curve(FIFO(), "j", 7.0, {}, theta=0.0)
+        assert s(3.0) == pytest.approx(21.0)
+        assert s.is_deterministic()
+
+
+class TestBoundingFunction:
+    def test_single_cross_flow_bound_passthrough(self):
+        s = leftover_service_curve(
+            FIFO(), "j", 10.0, {"c": env_bucket(1.0, 2.0, m=3.0, alpha=2.0)}, 0.0
+        )
+        assert s.bound.prefactor == pytest.approx(3.0)
+        assert s.bound.decay == pytest.approx(2.0)
+
+    def test_two_cross_flows_combine(self):
+        envs = {
+            "c1": env_bucket(1.0, 0.0, m=1.0, alpha=1.0),
+            "c2": env_bucket(1.0, 0.0, m=1.0, alpha=1.0),
+        }
+        s = leftover_service_curve(FIFO(), "j", 10.0, envs, 0.0)
+        assert s.bound.decay == pytest.approx(0.5)
+        assert s.bound.prefactor == pytest.approx(2.0)
+
+
+class TestSoundness:
+    def test_flow_in_cross_raises(self):
+        with pytest.raises(ValueError):
+            leftover_service_curve(FIFO(), "j", 10.0, {"j": env_rate(1.0)}, 0.0)
+
+    def test_overload_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            leftover_service_curve(FIFO(), "j", 2.0, {"c": env_rate(5.0)}, 0.0)
+
+    def test_burst_dip_produces_valid_hull(self):
+        # a cross envelope with burst slope above C on its first segment
+        steep = StatisticalEnvelope(
+            PiecewiseLinear.from_points([(0.0, 0.0), (1.0, 15.0)], 1.0),
+            ExponentialBound(1.0, 1.0),
+        )
+        s = leftover_service_curve(FIFO(), "j", 10.0, {"c": steep}, theta=2.0)
+        probe = [s(t) for t in (2.0, 2.5, 3.0, 4.0, 6.0)]
+        assert all(b >= a - 1e-9 for a, b in zip(probe, probe[1:]))
+
+    @given(
+        st.floats(min_value=0.1, max_value=4.0),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.sampled_from(["fifo", "bmux", "edf_fav", "edf_pen"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_leftover_below_capacity_line(self, rho, burst, theta, kind):
+        """The leftover curve never exceeds the raw link service Ct."""
+        c = 10.0
+        sched = {
+            "fifo": FIFO(),
+            "bmux": BMUX("j"),
+            "edf_fav": EDF({"j": 1.0, "c": 4.0}),
+            "edf_pen": EDF({"j": 4.0, "c": 1.0}),
+        }[kind]
+        s = leftover_service_curve(
+            sched, "j", c, {"c": env_bucket(rho, burst)}, theta
+        )
+        for t in (0.0, theta, theta + 0.5, theta + 2.0, theta + 10.0):
+            assert s(t) <= c * t + 1e-6
+
+    @given(
+        st.floats(min_value=0.1, max_value=4.0),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bmux_is_weakest_delta_scheduler(self, rho, theta):
+        """For the same cross envelope, every Delta-scheduler's leftover
+        curve dominates the BMUX curve."""
+        c = 10.0
+        envs = {"c": env_bucket(rho, 1.0)}
+        s_bm = leftover_service_curve(BMUX("j"), "j", c, envs, theta)
+        for sched in (FIFO(), EDF({"j": 1.0, "c": 2.0})):
+            s = leftover_service_curve(sched, "j", c, envs, theta)
+            for t in (theta + 0.1, theta + 1.0, theta + 5.0):
+                assert s(t) >= s_bm(t) - 1e-9
+
+
+class TestTightnessLink:
+    """Section III-B: delay bounds from Theorem 1 + Eq. (20) reproduce the
+    exact schedulability delays of Theorem 2 (sigma = 0, deterministic)."""
+
+    @pytest.mark.parametrize(
+        "make_sched",
+        [
+            lambda: FIFO(),
+            lambda: BMUX("j"),
+            lambda: EDF({"j": 1.0, "c": 4.0}),
+            lambda: EDF({"j": 4.0, "c": 1.0}),
+        ],
+        ids=["fifo", "bmux", "edf_favored", "edf_penalized"],
+    )
+    def test_service_curve_delay_matches_schedulability(self, make_sched):
+        sched = make_sched()
+        capacity = 10.0
+        det_envs = {"j": leaky_bucket(2.0, 5.0), "c": leaky_bucket(3.0, 4.0)}
+        d_exact = min_feasible_delay(sched, det_envs, capacity, "j")
+
+        # Theorem 1 with theta = d_exact must certify the same bound
+        own = StatisticalEnvelope.deterministic(det_envs["j"].curve)
+        service = deterministic_leftover_service(
+            sched, "j", capacity, {"c": det_envs["c"]}, theta=d_exact
+        )
+        d_from_curve = service.delay_bound(own, 0.0)
+        assert d_from_curve == pytest.approx(d_exact, abs=1e-6)
+
+
+class TestEBBIntegration:
+    def test_paper_eq_28_shape(self):
+        """Eq. (28): with EBB cross traffic, the leftover curve at theta is
+        [C t - (rho_c + gamma)(t - theta + Delta(theta))]_+ I(t > theta)."""
+        c, gamma, theta = 10.0, 0.2, 1.5
+        cross = EBB(1.0, 3.0, 0.8)
+        env = cross.sample_path_envelope(gamma)
+        s = leftover_service_curve(FIFO(), "j", c, {"c": env}, theta)
+        rho_gamma = 3.0 + gamma
+        for t in (1.6, 2.5, 5.0):
+            expected = max(0.0, c * t - rho_gamma * (t - theta))
+            assert s(t) == pytest.approx(expected)
+        # bounding function: M e^{-alpha sigma} / (1 - e^{-alpha gamma})
+        q = math.exp(-0.8 * gamma)
+        assert s.bound.prefactor == pytest.approx(1.0 / (1.0 - q))
+        assert s.bound.decay == pytest.approx(0.8)

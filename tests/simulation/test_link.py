@@ -1,0 +1,190 @@
+"""Unit tests for chunks, scheduler policies, and single links."""
+
+import math
+
+import pytest
+
+from repro.simulation.chunk import Chunk
+from repro.simulation.node import Link
+from repro.simulation.schedulers import (
+    EDFPolicy,
+    FIFOPolicy,
+    GPSPolicy,
+    StaticPriorityPolicy,
+    bmux_policy,
+)
+
+
+class TestChunk:
+    def test_split(self):
+        c = Chunk("f", 10.0, origin_slot=3)
+        part = c.split(4.0)
+        assert part.size == 4.0
+        assert c.size == 6.0
+        assert part.origin_slot == 3
+        assert part.flow == "f"
+
+    def test_split_validation(self):
+        c = Chunk("f", 2.0, 0)
+        with pytest.raises(ValueError):
+            c.split(3.0)
+        with pytest.raises(ValueError):
+            c.split(0.0)
+
+    def test_sort_key_orders_by_tag_then_fifo(self):
+        a = Chunk("f", 1.0, 0, node_arrival=5, tag=1.0, seq=0)
+        b = Chunk("g", 1.0, 0, node_arrival=3, tag=1.0, seq=1)
+        c = Chunk("h", 1.0, 0, node_arrival=9, tag=0.5, seq=2)
+        assert sorted([a, b, c], key=Chunk.sort_key)[0] is c
+        assert sorted([a, b], key=Chunk.sort_key)[0] is b
+
+
+class TestPolicies:
+    def test_fifo_delta(self):
+        assert FIFOPolicy().delta("a", "b") == 0.0
+
+    def test_sp_delta_matrix(self):
+        sp = StaticPriorityPolicy({"hi": 1, "lo": 0})
+        assert sp.delta("lo", "hi") == math.inf
+        assert sp.delta("hi", "lo") == -math.inf
+        assert sp.delta("hi", "hi") == 0.0
+
+    def test_bmux_factory(self):
+        p = bmux_policy("t", ["t", "c"])
+        assert p.delta("t", "c") == math.inf
+        assert p.name == "BMUX"
+
+    def test_edf_delta(self):
+        edf = EDFPolicy({"a": 2.0, "b": 7.0})
+        assert edf.delta("a", "b") == -5.0
+
+    def test_edf_validation(self):
+        with pytest.raises(ValueError):
+            EDFPolicy({"a": -1.0})
+        with pytest.raises(ValueError):
+            EDFPolicy({})
+
+    def test_gps_validation(self):
+        with pytest.raises(ValueError):
+            GPSPolicy({"a": 0.0})
+        with pytest.raises(ValueError):
+            GPSPolicy({})
+
+    def test_gps_delta_is_nan(self):
+        assert math.isnan(GPSPolicy({"a": 1.0}).delta("a", "a"))
+
+
+class TestFIFOLink:
+    def test_work_conserving(self):
+        link = Link(5.0, FIFOPolicy())
+        link.offer(Chunk("a", 12.0, 0), 0)
+        served = [sum(c.size for c in link.advance(t)) for t in range(4)]
+        assert served == [5.0, 5.0, 2.0, 0.0]
+
+    def test_conservation(self):
+        link = Link(3.0, FIFOPolicy())
+        total_in = 0.0
+        total_out = 0.0
+        for t in range(10):
+            size = (t % 4) * 1.7
+            if size:
+                link.offer(Chunk("a", size, t), t)
+                total_in += size
+            total_out += sum(c.size for c in link.advance(t))
+        for t in range(10, 30):
+            total_out += sum(c.size for c in link.advance(t))
+        assert total_out == pytest.approx(total_in)
+        assert link.backlog() == pytest.approx(0.0)
+
+    def test_fifo_order(self):
+        link = Link(1.0, FIFOPolicy())
+        link.offer(Chunk("a", 1.0, 0), 0)
+        link.offer(Chunk("b", 1.0, 1), 1)
+        first = link.advance(0)  # wait: both offered at different slots
+        assert first[0].flow == "a"
+
+    def test_tiny_chunks_ignored(self):
+        link = Link(1.0, FIFOPolicy())
+        link.offer(Chunk("a", 1e-12, 0), 0)
+        assert link.backlog() == 0.0
+
+
+class TestStaticPriorityLink:
+    def test_high_priority_preempts_queue(self):
+        link = Link(1.0, StaticPriorityPolicy({"hi": 1, "lo": 0}))
+        link.offer(Chunk("lo", 3.0, 0), 0)
+        link.advance(0)  # serves 1 unit of lo
+        link.offer(Chunk("hi", 1.0, 1), 1)
+        departed = link.advance(1)
+        assert departed[0].flow == "hi"
+
+    def test_same_priority_is_fifo(self):
+        link = Link(1.0, StaticPriorityPolicy({"a": 1, "b": 1}))
+        link.offer(Chunk("a", 1.0, 0), 0)
+        link.offer(Chunk("b", 1.0, 0), 0)
+        assert link.advance(0)[0].flow == "a"  # earlier seq
+
+
+class TestEDFLink:
+    def test_deadline_order(self):
+        link = Link(1.0, EDFPolicy({"urgent": 1.0, "lax": 10.0}))
+        link.offer(Chunk("lax", 1.0, 0), 0)
+        link.offer(Chunk("urgent", 1.0, 0), 0)
+        assert link.advance(0)[0].flow == "urgent"
+
+    def test_old_lax_traffic_beats_new_urgent(self):
+        # lax arrival at slot 0 has tag 10; urgent at slot 12 has tag 13
+        link = Link(1.0, EDFPolicy({"urgent": 1.0, "lax": 10.0}))
+        link.offer(Chunk("lax", 1.0, 0), 0)
+        link.offer(Chunk("urgent", 1.0, 12), 12)
+        assert link.advance(12)[0].flow == "lax"
+
+    def test_locally_fifo(self):
+        link = Link(1.0, EDFPolicy({"f": 5.0}))
+        link.offer(Chunk("f", 1.0, 0), 0)
+        link.offer(Chunk("f", 1.0, 1), 1)
+        first = link.advance(1)
+        assert first[0].node_arrival == 0
+
+
+class TestGPSLink:
+    def test_equal_weights_split_evenly(self):
+        link = Link(4.0, GPSPolicy({"a": 1.0, "b": 1.0}))
+        link.offer(Chunk("a", 10.0, 0), 0)
+        link.offer(Chunk("b", 10.0, 0), 0)
+        departed = link.advance(0)
+        by_flow = {}
+        for c in departed:
+            by_flow[c.flow] = by_flow.get(c.flow, 0.0) + c.size
+        assert by_flow["a"] == pytest.approx(2.0)
+        assert by_flow["b"] == pytest.approx(2.0)
+
+    def test_weighted_split(self):
+        link = Link(4.0, GPSPolicy({"a": 3.0, "b": 1.0}))
+        link.offer(Chunk("a", 10.0, 0), 0)
+        link.offer(Chunk("b", 10.0, 0), 0)
+        departed = link.advance(0)
+        by_flow = {}
+        for c in departed:
+            by_flow[c.flow] = by_flow.get(c.flow, 0.0) + c.size
+        assert by_flow["a"] == pytest.approx(3.0)
+        assert by_flow["b"] == pytest.approx(1.0)
+
+    def test_work_conserving_redistribution(self):
+        # flow b has little backlog; a gets the leftover share
+        link = Link(4.0, GPSPolicy({"a": 1.0, "b": 1.0}))
+        link.offer(Chunk("a", 10.0, 0), 0)
+        link.offer(Chunk("b", 0.5, 0), 0)
+        departed = link.advance(0)
+        total = sum(c.size for c in departed)
+        assert total == pytest.approx(4.0)  # full capacity used
+
+    def test_idle_when_empty(self):
+        link = Link(4.0, GPSPolicy({"a": 1.0}))
+        assert link.advance(0) == []
+
+
+class TestLinkValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            Link(0.0, FIFOPolicy())

@@ -1,0 +1,171 @@
+"""Tests for the tandem network and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.mmoo import MMOOParameters
+from repro.simulation.engine import SimulationConfig, simulate_tandem_mmoo
+from repro.simulation.metrics import BacklogRecorder, DelayRecorder
+from repro.simulation.network import TandemNetwork
+from repro.simulation.schedulers import FIFOPolicy
+
+
+def fifo_factory(through_id, cross_id):
+    return FIFOPolicy()
+
+
+class TestDelayRecorder:
+    def test_quantiles_weighted(self):
+        rec = DelayRecorder()
+        rec.record(1.0, 9.0)
+        rec.record(10.0, 1.0)
+        assert rec.quantile(0.5) == 1.0
+        assert rec.quantile(0.95) == 10.0
+        assert rec.mean() == pytest.approx(1.9)
+        assert rec.max() == 10.0
+        assert rec.total_mass == 10.0
+
+    def test_exceed_fraction(self):
+        rec = DelayRecorder()
+        rec.record(1.0, 3.0)
+        rec.record(5.0, 1.0)
+        assert rec.exceed_fraction(1.0) == pytest.approx(0.25)
+        assert rec.exceed_fraction(5.0) == 0.0
+
+    def test_empty(self):
+        rec = DelayRecorder()
+        assert rec.quantile(0.9) == 0.0
+        assert rec.mean() == 0.0
+        assert rec.exceed_fraction(1.0) == 0.0
+
+    def test_validation(self):
+        rec = DelayRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1.0, 1.0)
+        rec.record(1.0, 0.0)  # zero-size ignored
+        assert rec.count() == 0
+
+
+class TestBacklogRecorder:
+    def test_stats(self):
+        rec = BacklogRecorder()
+        for value in (0.0, 2.0, 4.0):
+            rec.record(value)
+        assert rec.max() == 4.0
+        assert rec.mean() == pytest.approx(2.0)
+        assert rec.quantile(0.5) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BacklogRecorder().record(-1.0)
+
+
+class TestTandemDeterministic:
+    def test_pipeline_delay_under_light_load(self):
+        # 1 unit/slot through a capacity-10 pipeline: the only delay is the
+        # store-and-forward +1 per extra hop
+        net = TandemNetwork(10.0, 3, fifo_factory)
+        through = np.ones(50)
+        cross = [np.zeros(50) for _ in range(3)]
+        result = net.run(through, cross)
+        assert result.through_delays.max() == 2.0
+        assert result.through_delays.total_mass == pytest.approx(50.0)
+
+    def test_conservation_with_cross_traffic(self):
+        net = TandemNetwork(5.0, 2, fifo_factory)
+        rng = np.random.default_rng(0)
+        through = rng.uniform(0.0, 2.0, 100)
+        cross = [rng.uniform(0.0, 2.0, 100) for _ in range(2)]
+        result = net.run(through, cross)
+        assert result.through_delays.total_mass == pytest.approx(through.sum())
+        for h in range(2):
+            assert result.cross_delays[h].total_mass == pytest.approx(
+                cross[h].sum()
+            )
+
+    def test_single_node_queue_buildup(self):
+        # 3 units/slot into capacity 2: backlog grows by 1/slot for 10
+        # slots, then drains; worst delay = ceil(10/2) = 5
+        net = TandemNetwork(2.0, 1, fifo_factory)
+        through = np.concatenate([np.full(10, 3.0), np.zeros(20)])
+        cross = [np.zeros(30)]
+        result = net.run(through, cross)
+        assert result.through_delays.max() == pytest.approx(5.0)
+
+    def test_backlog_recording(self):
+        net = TandemNetwork(2.0, 1, fifo_factory)
+        through = np.concatenate([np.full(5, 4.0), np.zeros(10)])
+        result = net.run(through, [np.zeros(15)], record_backlog=True)
+        backlog = result.node_backlogs[0]
+        # after slot 4 (sampled post-service): 5*4 arrived, 5*2 served
+        assert backlog.max() == pytest.approx(10.0)
+
+    def test_row_count_validation(self):
+        net = TandemNetwork(2.0, 2, fifo_factory)
+        with pytest.raises(ValueError):
+            net.run(np.ones(5), [np.zeros(5)])
+        with pytest.raises(ValueError):
+            net.run(np.ones(5), [np.zeros(5), np.zeros(4)])
+
+
+class TestSimulateTandemMMOO:
+    TRAFFIC = MMOOParameters.paper_defaults()
+
+    def test_reproducible(self):
+        cfg = SimulationConfig(
+            traffic=self.TRAFFIC, n_through=50, n_cross=50, hops=2,
+            capacity=100.0, slots=2000, scheduler="fifo", seed=11,
+        )
+        a = simulate_tandem_mmoo(cfg)
+        b = simulate_tandem_mmoo(cfg)
+        assert a.through_delays.mean() == b.through_delays.mean()
+        assert a.through_delays.max() == b.through_delays.max()
+
+    def test_zero_cross_traffic(self):
+        cfg = SimulationConfig(
+            traffic=self.TRAFFIC, n_through=50, n_cross=0, hops=2,
+            capacity=100.0, slots=2000, scheduler="fifo", seed=3,
+        )
+        result = simulate_tandem_mmoo(cfg)
+        assert result.through_delays.total_mass > 0
+
+    def test_scheduler_ordering_at_high_load(self):
+        """SP (through favored) <= EDF-favored <= FIFO <= BMUX."""
+        delays = {}
+        for scheduler in ("sp", "edf", "fifo", "bmux"):
+            cfg = SimulationConfig(
+                traffic=self.TRAFFIC, n_through=300, n_cross=300, hops=2,
+                capacity=100.0, slots=12_000, scheduler=scheduler, seed=7,
+                edf_deadline_through=1.0, edf_deadline_cross=10.0,
+            )
+            delays[scheduler] = simulate_tandem_mmoo(cfg).through_delays.quantile(
+                0.999
+            )
+        assert delays["sp"] <= delays["edf"] + 1e-9
+        assert delays["edf"] <= delays["fifo"] + 1e-9
+        assert delays["fifo"] <= delays["bmux"] + 1e-9
+        # at this load the differentiation is strict between extremes
+        assert delays["sp"] < delays["bmux"]
+
+    def test_gps_weights_shift_delay(self):
+        results = {}
+        for w in (0.2, 5.0):
+            cfg = SimulationConfig(
+                traffic=self.TRAFFIC, n_through=300, n_cross=300, hops=1,
+                capacity=100.0, slots=12_000, scheduler="gps", seed=9,
+                gps_weight_through=w, gps_weight_cross=1.0,
+            )
+            results[w] = simulate_tandem_mmoo(cfg).through_delays.quantile(0.999)
+        assert results[5.0] <= results[0.2]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                traffic=self.TRAFFIC, n_through=0, n_cross=1, hops=1,
+                capacity=1.0, slots=10,
+            )
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                traffic=self.TRAFFIC, n_through=1, n_cross=1, hops=1,
+                capacity=1.0, slots=10, scheduler="wfq",
+            )

@@ -1,0 +1,105 @@
+"""Tests for backlog bounds and output envelopes."""
+
+import math
+
+import pytest
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.ebb import EBB
+from repro.arrivals.statistical import ExponentialBound, StatisticalEnvelope
+from repro.service.curves import (
+    StatisticalServiceCurve,
+    constant_rate_service,
+    rate_latency_service,
+)
+from repro.singlenode.backlog import (
+    backlog_bound,
+    backlog_bound_at_sigma,
+    deterministic_backlog_bound,
+)
+from repro.singlenode.output import output_envelope
+
+
+def det_env(rate, burst):
+    return StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(rate, burst))
+
+
+class TestBacklog:
+    def test_textbook_backlog(self):
+        # (r, b) through (R, T): backlog bound b + r T
+        env = det_env(1.0, 4.0)
+        svc = rate_latency_service(2.0, 3.0)
+        assert deterministic_backlog_bound(env, svc) == pytest.approx(7.0)
+        assert backlog_bound(env, svc, 0.0) == pytest.approx(7.0)
+
+    def test_shifted_service_dead_time(self):
+        # a pure shift of the service adds rate * shift to the backlog
+        env = det_env(1.0, 4.0)
+        plain = constant_rate_service(2.0)
+        shifted = StatisticalServiceCurve(plain.base, shift=3.0)
+        assert deterministic_backlog_bound(env, shifted) == pytest.approx(
+            deterministic_backlog_bound(env, plain) + 3.0
+        )
+
+    def test_probabilistic_monotone_in_epsilon(self):
+        env = EBB(1.0, 2.0, 1.0).sample_path_envelope(0.5)
+        svc = constant_rate_service(5.0)
+        b3 = backlog_bound(env, svc, 1e-3)
+        b9 = backlog_bound(env, svc, 1e-9)
+        assert b3 < b9
+
+    def test_at_sigma(self):
+        env = EBB(1.0, 2.0, 1.0).sample_path_envelope(0.5)
+        svc = constant_rate_service(5.0)
+        b0, e0 = backlog_bound_at_sigma(env, svc, 0.0)
+        b5, e5 = backlog_bound_at_sigma(env, svc, 5.0)
+        assert b5 == pytest.approx(b0 + 5.0)
+        assert e5 < e0
+
+    def test_epsilon_zero_requires_deterministic(self):
+        env = EBB(1.0, 2.0, 1.0).sample_path_envelope(0.5)
+        svc = constant_rate_service(5.0)
+        with pytest.raises(ValueError):
+            backlog_bound(env, svc, 0.0)
+
+    def test_unstable_is_infinite(self):
+        env = det_env(3.0, 1.0)
+        svc = constant_rate_service(2.0)
+        assert deterministic_backlog_bound(env, svc) == math.inf
+
+
+class TestOutputEnvelope:
+    def test_classical_output_burstiness(self):
+        # (r, b) through (R, T): output envelope (r, b + r T)
+        env = det_env(1.0, 4.0)
+        svc = rate_latency_service(2.0, 3.0)
+        out = output_envelope(env, svc)
+        expected = PiecewiseLinear.token_bucket(1.0, 7.0)
+        for t in (0.0, 1.0, 5.0):
+            assert out.curve(t) == pytest.approx(expected(t), rel=1e-9)
+        assert out.exponential_bound().is_deterministic()
+
+    def test_bound_combination(self):
+        env = StatisticalEnvelope(
+            PiecewiseLinear.constant_rate(2.0), ExponentialBound(1.0, 1.0)
+        )
+        svc = StatisticalServiceCurve(
+            PiecewiseLinear.constant_rate(5.0), 0.0, ExponentialBound(1.0, 1.0)
+        )
+        out = output_envelope(env, svc)
+        assert out.exponential_bound().decay == pytest.approx(0.5)
+
+    def test_shift_adds_burstiness(self):
+        env = det_env(1.0, 2.0)
+        plain = constant_rate_service(4.0)
+        shifted = StatisticalServiceCurve(plain.base, shift=3.0)
+        out_plain = output_envelope(env, plain)
+        out_shift = output_envelope(env, shifted)
+        # dead time of 3 adds up to rate*3 of extra output burstiness
+        assert out_shift.curve(5.0) == pytest.approx(out_plain.curve(5.0) + 3.0)
+
+    def test_divergent_output_raises(self):
+        env = det_env(3.0, 0.0)
+        svc = constant_rate_service(2.0)
+        with pytest.raises(ValueError):
+            output_envelope(env, svc)

@@ -1,0 +1,136 @@
+"""Tests for single-node probabilistic delay bounds (Eqs. (20)-(22))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.functions import PiecewiseLinear
+from repro.arrivals.ebb import EBB
+from repro.arrivals.statistical import ExponentialBound, StatisticalEnvelope
+from repro.scheduling.delta import BMUX, FIFO
+from repro.service.curves import (
+    StatisticalServiceCurve,
+    constant_rate_service,
+    rate_latency_service,
+)
+from repro.service.leftover import leftover_service_curve
+from repro.singlenode.delay import (
+    delay_bound,
+    delay_bound_at_sigma,
+    deterministic_delay_bound,
+    violation_probability,
+)
+
+
+def det_env(rate, burst):
+    return StatisticalEnvelope.deterministic(PiecewiseLinear.token_bucket(rate, burst))
+
+
+def ebb_env(m, rho, alpha, gamma):
+    return EBB(m, rho, alpha).sample_path_envelope(gamma)
+
+
+class TestDeterministic:
+    def test_textbook_bound(self):
+        env = det_env(1.0, 4.0)
+        svc = rate_latency_service(2.0, 3.0)
+        assert deterministic_delay_bound(env, svc) == pytest.approx(5.0)
+        assert delay_bound(env, svc, 0.0) == pytest.approx(5.0)
+
+    def test_epsilon_zero_requires_deterministic(self):
+        env = StatisticalEnvelope(
+            PiecewiseLinear.token_bucket(1.0, 4.0), ExponentialBound(1.0, 1.0)
+        )
+        svc = rate_latency_service(2.0, 3.0)
+        with pytest.raises(ValueError):
+            delay_bound(env, svc, 0.0)
+        with pytest.raises(ValueError):
+            deterministic_delay_bound(env, svc)
+
+    def test_unstable(self):
+        env = det_env(3.0, 0.0)
+        svc = constant_rate_service(2.0)
+        assert deterministic_delay_bound(env, svc) == math.inf
+
+
+class TestProbabilistic:
+    def test_delay_decreasing_in_epsilon(self):
+        env = ebb_env(1.0, 2.0, 1.0, 0.5)
+        svc = constant_rate_service(5.0)
+        bounds = [delay_bound(env, svc, e) for e in (1e-3, 1e-6, 1e-9)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_sigma_translation(self):
+        # for a constant-rate service, d(sigma) = (sigma + burst terms)/C
+        env = ebb_env(1.0, 2.0, 1.0, 0.5)
+        svc = constant_rate_service(5.0)
+        d0, _ = delay_bound_at_sigma(env, svc, 0.0)
+        d1, _ = delay_bound_at_sigma(env, svc, 5.0)
+        assert d1 - d0 == pytest.approx(1.0)
+
+    def test_epsilon_matches_combined_bound(self):
+        env = ebb_env(1.0, 2.0, 1.0, 0.5)
+        svc = StatisticalServiceCurve(
+            PiecewiseLinear.constant_rate(5.0), 0.0, ExponentialBound(2.0, 0.5)
+        )
+        _, eps = delay_bound_at_sigma(env, svc, 10.0)
+        # consistency: inverse of the combination at eps returns sigma=10
+        d = delay_bound(env, svc, eps)
+        d10, _ = delay_bound_at_sigma(env, svc, 10.0)
+        assert d == pytest.approx(d10, rel=1e-6)
+
+    def test_violation_probability_roundtrip(self):
+        env = ebb_env(1.0, 2.0, 1.0, 0.5)
+        svc = constant_rate_service(5.0)
+        for eps in (1e-3, 1e-6):
+            d = delay_bound(env, svc, eps)
+            assert violation_probability(env, svc, d) == pytest.approx(
+                eps, rel=1e-3
+            )
+
+    def test_violation_probability_tiny_delay_is_one(self):
+        env = ebb_env(1.0, 2.0, 1.0, 0.5)
+        svc = rate_latency_service(5.0, 3.0)
+        assert violation_probability(env, svc, 1.0) == 1.0
+
+    def test_violation_probability_deterministic(self):
+        env = det_env(1.0, 4.0)
+        svc = rate_latency_service(2.0, 3.0)
+        assert violation_probability(env, svc, 5.0) == 0.0
+        assert violation_probability(env, svc, 4.9) == 1.0
+
+    @given(
+        st.floats(min_value=0.2, max_value=2.0),
+        st.floats(min_value=0.3, max_value=3.0),
+        st.floats(min_value=0.05, max_value=0.8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_utilization(self, rho, alpha, gamma):
+        svc = constant_rate_service(5.0)
+        d_lo = delay_bound(ebb_env(1.0, rho, alpha, gamma), svc, 1e-6)
+        d_hi = delay_bound(ebb_env(1.0, rho * 1.5, alpha, gamma), svc, 1e-6)
+        assert d_hi >= d_lo - 1e-9
+
+
+class TestSingleNodeSchedulers:
+    """Single-node delay bounds through Theorem 1 curves: scheduler ordering."""
+
+    def _bound(self, sched, theta, eps=1e-6):
+        c = 10.0
+        gamma = 0.2
+        through = EBB(1.0, 2.0, 1.0).sample_path_envelope(gamma)
+        cross = EBB(1.0, 3.0, 1.0).sample_path_envelope(gamma)
+        svc = leftover_service_curve(sched, "j", c, {"c": cross}, theta)
+        return delay_bound(through, svc, eps)
+
+    def test_fifo_beats_bmux_at_good_theta(self):
+        # theta equal to the eventual delay is the paper's single-node choice
+        d_bm = min(self._bound(BMUX("j"), th) for th in (0.0, 1.0, 2.0, 4.0))
+        d_ff = min(self._bound(FIFO(), th) for th in (0.0, 1.0, 2.0, 4.0))
+        assert d_ff <= d_bm + 1e-9
+
+    def test_theta_zero_equalizes_fifo_and_bmux(self):
+        # at theta = 0 the capped deltas vanish: all schedulers look alike
+        assert self._bound(FIFO(), 0.0) == pytest.approx(self._bound(BMUX("j"), 0.0))

@@ -1,0 +1,88 @@
+"""Tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_int,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_passes_through(self):
+        assert check_finite(3) == 3.0
+        assert check_finite(2.5) == 2.5
+
+    def test_rejects_inf_and_nan(self):
+        with pytest.raises(ValueError):
+            check_finite(math.inf, "x")
+        with pytest.raises(ValueError):
+            check_finite(math.nan, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_finite("abc", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="rate"):
+            check_finite(math.inf, "rate")
+
+
+class TestSignChecks:
+    def test_positive(self):
+        assert check_positive(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestProbability:
+    def test_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "eps")
+        with pytest.raises(ValueError):
+            check_probability(-0.5, "eps")
+
+
+class TestRange:
+    def test_closed(self):
+        assert check_in_range(1.0, 0.0, 2.0) == 1.0
+        assert check_in_range(0.0, 0.0, 2.0) == 0.0
+
+    def test_open_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, 0.0, 2.0, "x", low_open=True)
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 2.0, "x", high_open=True)
+
+
+class TestCheckInt:
+    def test_accepts_int_and_integral_float(self):
+        assert check_int(3) == 3
+        assert check_int(3.0) == 3
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_int(3.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_int(True, "n")
+
+    def test_minimum(self):
+        with pytest.raises(ValueError):
+            check_int(0, "n", minimum=1)
