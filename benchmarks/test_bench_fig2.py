@@ -10,19 +10,25 @@ the gap grows with H.
 
 from conftest import emit
 
-from repro.experiments.example1 import run_example1
+from repro.experiments.example1 import fig2_spec, run_example1
 from repro.experiments.runner import format_table
+from repro.experiments.sweep import run_sweep
 
 
 def test_fig2_series(benchmark, output_dir):
-    """Full Fig. 2 sweep (quick optimization grids)."""
+    """Full Fig. 2 sweep through the sweep pipeline (quick grids)."""
+    spec = fig2_spec(quick=True)
 
     def compute():
-        return run_example1(quick=True)
+        return run_sweep(spec)
 
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(rows, x_label="U [%]")
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = result.experiment_rows()
+    table = format_table(rows, x_label=spec.x_label)
     emit(output_dir, "fig2_example1", table)
+    benchmark.extra_info["cell_compute_s"] = round(
+        result.total_wall_time_s, 3
+    )
 
     # shape assertions: the paper's reading of the figure
     cells = {(r.series, r.x): r.delay for r in rows}

@@ -11,19 +11,25 @@ behaves like BMUX.
 
 from conftest import emit
 
-from repro.experiments.example2 import run_example2
+from repro.experiments.example2 import fig3_spec, run_example2
 from repro.experiments.runner import format_table
+from repro.experiments.sweep import run_sweep
 
 
 def test_fig3_series(benchmark, output_dir):
-    """Full Fig. 3 sweep (quick optimization grids)."""
+    """Full Fig. 3 sweep through the sweep pipeline (quick grids)."""
+    spec = fig3_spec(quick=True)
 
     def compute():
-        return run_example2(quick=True)
+        return run_sweep(spec)
 
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(rows, x_label="Uc/U")
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = result.experiment_rows()
+    table = format_table(rows, x_label=spec.x_label)
     emit(output_dir, "fig3_example2", table)
+    benchmark.extra_info["cell_compute_s"] = round(
+        result.total_wall_time_s, 3
+    )
 
     cells = {(r.series, r.x): r.delay for r in rows}
 

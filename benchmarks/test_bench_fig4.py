@@ -12,20 +12,26 @@ identical over the whole range; EDF is clearly lower at high utilization.
 
 from conftest import emit
 
-from repro.experiments.example3 import run_example3
+from repro.experiments.example3 import fig4_spec, run_example3
 from repro.experiments.runner import format_table
+from repro.experiments.sweep import run_sweep
 from repro.network.scaling import fit_growth_exponent
 
 
 def test_fig4_series(benchmark, output_dir):
-    """Full Fig. 4 sweep (quick optimization grids)."""
+    """Full Fig. 4 sweep through the sweep pipeline (quick grids)."""
+    spec = fig4_spec(quick=True)
 
     def compute():
-        return run_example3(quick=True)
+        return run_sweep(spec)
 
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(rows, x_label="H")
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = result.experiment_rows()
+    table = format_table(rows, x_label=spec.x_label)
     emit(output_dir, "fig4_example3", table)
+    benchmark.extra_info["cell_compute_s"] = round(
+        result.total_wall_time_s, 3
+    )
 
     cells = {(r.series, r.x): r.delay for r in rows}
     hs = sorted({r.x for r in rows if r.x >= 2})

@@ -1,6 +1,8 @@
 """Reproductions of the paper's numerical examples (Section V).
 
-One module per figure:
+One module per figure, each *declaring* its grid as a
+:class:`~repro.experiments.sweep.SweepSpec` over a top-level cell
+function:
 
 * :mod:`repro.experiments.example1` — Fig. 2: end-to-end delay bounds vs.
   total utilization, H in {2, 5, 10}, schedulers BMUX / FIFO / EDF;
@@ -12,17 +14,42 @@ One module per figure:
 * :mod:`repro.experiments.validation` — added experiment: simulated delay
   quantiles against the analytic bounds.
 
-Each experiment returns plain row records and can print the series the
-paper's figures plot; the benchmark harness under ``benchmarks/``
-regenerates every figure through these entry points.
+The specs execute through the sweep engine
+(:func:`~repro.experiments.sweep.run_sweep`): cells run on a pluggable
+executor (serial or a ``multiprocessing`` pool) and can be served from a
+content-keyed on-disk cache, so warm re-runs only recompute changed
+cells.  ``run_example1/2/3`` and ``run_validation`` keep the historical
+row-list interface; the benchmark harness under ``benchmarks/`` and the
+CLI (``python -m repro.experiments``) regenerate every figure through
+the same pipeline.
 """
 
+from repro.experiments.cache import DEFAULT_CACHE_DIR, CellCache
 from repro.experiments.config import PaperSetting, paper_setting
-from repro.experiments.example1 import run_example1
-from repro.experiments.example2 import run_example2
-from repro.experiments.example3 import run_example3
-from repro.experiments.validation import run_validation
-from repro.experiments.runner import ExperimentRow, format_table, rows_to_csv
+from repro.experiments.example1 import fig2_spec, run_example1
+from repro.experiments.example2 import fig3_spec, run_example2
+from repro.experiments.example3 import fig4_spec, run_example3
+from repro.experiments.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.runner import (
+    ExperimentRow,
+    dict_rows_to_csv,
+    format_table,
+    rows_to_csv,
+    write_json_artifact,
+)
+from repro.experiments.sweep import (
+    Cell,
+    CellResult,
+    SweepResult,
+    SweepSpec,
+    cell_key,
+    run_sweep,
+)
+from repro.experiments.validation import run_validation, validation_spec
 
 __all__ = [
     "PaperSetting",
@@ -31,7 +58,24 @@ __all__ = [
     "run_example2",
     "run_example3",
     "run_validation",
+    "fig2_spec",
+    "fig3_spec",
+    "fig4_spec",
+    "validation_spec",
+    "Cell",
+    "CellResult",
+    "SweepResult",
+    "SweepSpec",
+    "cell_key",
+    "run_sweep",
+    "CellCache",
+    "DEFAULT_CACHE_DIR",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "ExperimentRow",
     "format_table",
     "rows_to_csv",
+    "dict_rows_to_csv",
+    "write_json_artifact",
 ]

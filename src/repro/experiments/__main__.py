@@ -2,14 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments fig2 [--full] [--csv out.csv]
-    python -m repro.experiments fig3 --hops 2 5
-    python -m repro.experiments fig4 --utilizations 0.5
-    python -m repro.experiments validation --slots 30000
+    python -m repro.experiments fig2 [--full] [--jobs 4] [--csv out.csv]
+    python -m repro.experiments fig3 --hops 2 5 --json fig3.json
+    python -m repro.experiments fig4 --utilizations 0.5 --no-cache
+    python -m repro.experiments validation --slots 30000 --seed 7
 
-Each command regenerates one of the paper's figures (or the added
-validation experiment) and prints the series as a table; ``--csv`` also
-writes machine-readable output.
+Each command declares one of the paper's figures (or the added
+validation experiment) as a sweep spec and runs it through the sweep
+engine: ``--jobs N`` fans the cells out over a process pool, and a
+content-keyed cell cache under ``--cache-dir`` (default
+``.repro_cache/``) makes warm re-runs only recompute changed cells
+(``--no-cache`` disables it).  The series print as a table; ``--csv``
+writes the rows and ``--json`` writes a structured artifact with the
+full grid metadata, per-cell wall-clock, and diagnostics.
 """
 
 from __future__ import annotations
@@ -18,11 +23,23 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.example1 import run_example1
-from repro.experiments.example2 import run_example2
-from repro.experiments.example3 import run_example3
-from repro.experiments.runner import format_table, rows_to_csv
-from repro.experiments.validation import format_validation, run_validation
+from repro.experiments.cache import DEFAULT_CACHE_DIR, CellCache
+from repro.experiments.example1 import fig2_spec
+from repro.experiments.example2 import fig3_spec
+from repro.experiments.example3 import fig4_spec
+from repro.experiments.executor import make_executor
+from repro.experiments.runner import (
+    dict_rows_to_csv,
+    format_table,
+    rows_to_csv,
+    write_json_artifact,
+)
+from repro.experiments.sweep import run_sweep
+from repro.experiments.validation import (
+    format_validation,
+    rows_to_validation,
+    validation_spec,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -32,7 +49,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="use the full optimization grids (slower, <1%% tighter)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="compute cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
         "--csv", metavar="PATH", help="also write the rows as CSV"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write a structured JSON artifact (rows + grid metadata "
+        "+ per-cell diagnostics and wall-clock)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell, bypassing the on-disk cell cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"cell cache directory (default: {DEFAULT_CACHE_DIR})",
     )
 
 
@@ -71,48 +105,86 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--slots", type=int, default=20_000)
     pv.add_argument("--utilization", type=float, default=0.90)
     pv.add_argument("--epsilon", type=float, default=1e-3)
+    pv.add_argument(
+        "--seed", type=int, default=5,
+        help="simulation seed (recorded in the artifact for "
+        "reproducibility)",
+    )
+    _add_common(pv)
 
     return parser
 
 
+def _build_spec(args: argparse.Namespace):
+    if args.command == "fig2":
+        return fig2_spec(
+            utilizations=tuple(args.utilizations),
+            hops=tuple(args.hops),
+            quick=not args.full,
+        )
+    if args.command == "fig3":
+        return fig3_spec(
+            mixes=tuple(args.mixes),
+            hops=tuple(args.hops),
+            quick=not args.full,
+        )
+    if args.command == "fig4":
+        return fig4_spec(
+            hops=tuple(args.hops),
+            utilizations=tuple(args.utilizations),
+            quick=not args.full,
+        )
+    return validation_spec(
+        hops=tuple(args.hops),
+        utilization=args.utilization,
+        epsilon=args.epsilon,
+        slots=args.slots,
+        seed=args.seed,
+        quick=not args.full,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    executor = make_executor(args.jobs)
+    cache = None if args.no_cache else CellCache(args.cache_dir)
 
-    if args.command == "fig2":
-        rows = run_example1(
-            utilizations=tuple(args.utilizations),
-            hops=tuple(args.hops),
-            quick=not args.full,
-        )
-        print(format_table(rows, x_label="U [%]"))
-    elif args.command == "fig3":
-        rows = run_example2(
-            mixes=tuple(args.mixes), hops=tuple(args.hops),
-            quick=not args.full,
-        )
-        print(format_table(rows, x_label="Uc/U"))
-    elif args.command == "fig4":
-        rows = run_example3(
-            hops=tuple(args.hops),
-            utilizations=tuple(args.utilizations),
-            quick=not args.full,
-        )
-        print(format_table(rows, x_label="H"))
-    else:  # validation
-        cells = run_validation(
-            hops=tuple(args.hops),
-            utilization=args.utilization,
-            epsilon=args.epsilon,
-            slots=args.slots,
-        )
-        print(format_validation(cells))
-        return 0 if all(cell.sound for cell in cells) else 1
+    spec = _build_spec(args)
+    result = run_sweep(spec, executor=executor, cache=cache)
 
-    if getattr(args, "csv", None):
+    if args.command == "validation":
+        validation_rows = rows_to_validation(result.rows)
+        print(format_validation(validation_rows))
+        csv_text = dict_rows_to_csv(result.rows)
+        rc = 0 if all(row.sound for row in validation_rows) else 1
+    else:
+        rows = result.experiment_rows()
+        print(format_table(rows, x_label=spec.x_label))
+        csv_text = rows_to_csv(rows)
+        rc = 0
+
+    print(
+        f"[{spec.name}] {len(result.cells)} cells "
+        f"({result.cached_cells} cached), "
+        f"{result.computed_wall_time_s:.2f}s cell compute time, "
+        f"jobs={args.jobs}"
+    )
+
+    if args.csv:
         with open(args.csv, "w") as handle:
-            handle.write(rows_to_csv(rows))
+            handle.write(csv_text)
         print(f"wrote {args.csv}")
-    return 0
+    if args.json:
+        meta = {
+            "command": args.command,
+            "jobs": args.jobs,
+            "full": args.full,
+        }
+        if args.command == "validation":
+            meta["seed"] = args.seed
+        write_json_artifact(args.json, result.to_artifact(meta=meta))
+        print(f"wrote {args.json}")
+    return rc
 
 
 if __name__ == "__main__":

@@ -62,3 +62,31 @@ FULL_GRIDS = {"s_grid": 24, "gamma_grid": 24}
 def grids(quick: bool) -> dict:
     """Optimization grid sizes for the chosen fidelity."""
     return dict(QUICK_GRIDS if quick else FULL_GRIDS)
+
+
+def setting_to_params(setting: PaperSetting) -> dict:
+    """Flatten a setting into plain, JSON-able cell parameters.
+
+    The sweep pipeline requires cells to be records of plain values (so
+    they hash into cache keys and pickle into worker processes); this and
+    :func:`setting_from_params` round-trip the Section V setting through
+    that representation.
+    """
+    traffic = setting.traffic
+    return {
+        "traffic": (traffic.peak, traffic.p11, traffic.p22),
+        "capacity": setting.capacity,
+        "epsilon": setting.epsilon,
+    }
+
+
+def setting_from_params(
+    traffic: tuple, capacity: float, epsilon: float
+) -> PaperSetting:
+    """Rebuild a :class:`PaperSetting` from flattened cell parameters."""
+    peak, p11, p22 = traffic
+    return PaperSetting(
+        traffic=MMOOParameters(peak, p11, p22),
+        capacity=capacity,
+        epsilon=epsilon,
+    )

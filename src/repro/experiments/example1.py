@@ -10,6 +10,11 @@ the deadlines are a fixed point of the resulting bound).
 Expected shape (paper's reading of Fig. 2): bounds grow with ``U`` and
 blow up toward saturation; FIFO is indistinguishable from BMUX as early
 as ``H = 5``; EDF is noticeably lower, with the gap growing in ``H``.
+
+The experiment is *declared* as a :class:`~repro.experiments.sweep.SweepSpec`
+(:func:`fig2_spec`) whose cells all point at the top-level
+:func:`fig2_cell`; :func:`run_example1` executes it through the sweep
+engine and keeps the historical row-list interface.
 """
 
 from __future__ import annotations
@@ -17,8 +22,15 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.config import (
+    PaperSetting,
+    grids,
+    paper_setting,
+    setting_from_params,
+    setting_to_params,
+)
 from repro.experiments.runner import ExperimentRow
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
 
 #: The through-aggregate size of Example 1 (U_0 = 15%).
@@ -28,6 +40,100 @@ DEFAULT_UTILIZATIONS = (0.20, 0.35, 0.50, 0.65, 0.80, 0.95)
 DEFAULT_HOPS = (2, 5, 10)
 SCHEDULERS = ("BMUX", "FIFO", "EDF")
 
+CELL_FN = "repro.experiments.example1:fig2_cell"
+
+
+def fig2_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    utilization: float,
+    n_through: int,
+    traffic: tuple,
+    capacity: float,
+    epsilon: float,
+    s_grid: int,
+    gamma_grid: int,
+) -> dict:
+    """One (scheduler, H, U) point of Fig. 2 — pure and picklable."""
+    setting = setting_from_params(traffic, capacity, epsilon)
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    n_total = setting.flows_for_utilization(utilization)
+    n_cross = max(n_total - n_through, 0)
+    diagnostics: dict = {}
+    if scheduler == "EDF":
+        bound = e2e_delay_bound_edf(
+            setting.traffic, n_through, n_cross, hops,
+            setting.capacity, setting.epsilon,
+            deadline_weight_through=1.0,
+            deadline_weight_cross=10.0,
+            **grid,
+        )
+        result, delta = bound.result, bound.delta
+        diagnostics = {
+            "edf_iterations": bound.diagnostics.iterations,
+            "edf_residual": bound.diagnostics.residual,
+            "edf_converged": bound.diagnostics.converged,
+        }
+    else:
+        delta = math.inf if scheduler == "BMUX" else 0.0
+        result = e2e_delay_bound_mmoo(
+            setting.traffic, n_through, n_cross, hops,
+            setting.capacity, delta, setting.epsilon,
+            **grid,
+        )
+    return {
+        "rows": [
+            {
+                "series": f"{scheduler} H={hops}",
+                "x": utilization * 100.0,
+                "delay": result.delay,
+                "extra": {
+                    "delta": delta,
+                    "gamma": result.gamma,
+                    "alpha": result.alpha,
+                    "sigma": result.sigma,
+                },
+            }
+        ],
+        "diagnostics": diagnostics,
+    }
+
+
+def fig2_spec(
+    *,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> SweepSpec:
+    """Declare the Fig. 2 grid (one cell per (scheduler, H, U) point)."""
+    setting = setting or paper_setting()
+    shared = {
+        **setting_to_params(setting),
+        **grids(quick),
+        "n_through": N_THROUGH,
+    }
+    cells = [
+        Cell.make(
+            CELL_FN,
+            scheduler=scheduler,
+            hops=h,
+            utilization=utilization,
+            **shared,
+        )
+        for h in hops
+        for utilization in utilizations
+        for scheduler in schedulers
+    ]
+    return SweepSpec.build(
+        "fig2",
+        cells,
+        settings={"quick": quick, **shared},
+        x_label="U [%]",
+    )
+
 
 def run_example1(
     *,
@@ -36,48 +142,16 @@ def run_example1(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    executor=None,
+    cache=None,
 ) -> list[ExperimentRow]:
-    """Compute the Fig. 2 series.
+    """Compute the Fig. 2 series through the sweep engine.
 
     Returns one row per (scheduler, H, U) cell; the series label is
     ``"<scheduler> H=<H>"`` and ``x`` is the total utilization in percent.
     """
-    setting = setting or paper_setting()
-    grid = grids(quick)
-    rows: list[ExperimentRow] = []
-    for h in hops:
-        for utilization in utilizations:
-            n_total = setting.flows_for_utilization(utilization)
-            n_cross = max(n_total - N_THROUGH, 0)
-            for scheduler in schedulers:
-                if scheduler == "EDF":
-                    result, delta = e2e_delay_bound_edf(
-                        setting.traffic, N_THROUGH, n_cross, h,
-                        setting.capacity, setting.epsilon,
-                        deadline_weight_through=1.0,
-                        deadline_weight_cross=10.0,
-                        **grid,
-                    )
-                    extra = {"delta": delta}
-                else:
-                    delta = math.inf if scheduler == "BMUX" else 0.0
-                    result = e2e_delay_bound_mmoo(
-                        setting.traffic, N_THROUGH, n_cross, h,
-                        setting.capacity, delta, setting.epsilon,
-                        **grid,
-                    )
-                    extra = {"delta": delta}
-                rows.append(
-                    ExperimentRow(
-                        series=f"{scheduler} H={h}",
-                        x=utilization * 100.0,
-                        delay=result.delay,
-                        extra={
-                            **extra,
-                            "gamma": result.gamma,
-                            "alpha": result.alpha,
-                            "sigma": result.sigma,
-                        },
-                    )
-                )
-    return rows
+    spec = fig2_spec(
+        utilizations=utilizations, hops=hops, schedulers=schedulers,
+        setting=setting, quick=quick,
+    )
+    return run_sweep(spec, executor=executor, cache=cache).experiment_rows()

@@ -12,6 +12,9 @@ bounds depend on the mix; EDF-short is almost insensitive to the mix at
 ``H = 2`` (and can even *decrease* with more cross traffic); a larger
 ``d*_0/d*_c`` ratio makes the bound more sensitive to cross traffic; as
 ``H`` grows all Delta-schedulers drift toward BMUX-like behaviour.
+
+Declared as :func:`fig3_spec` over the top-level :func:`fig3_cell`;
+:func:`run_example2` executes it through the sweep engine.
 """
 
 from __future__ import annotations
@@ -19,8 +22,15 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.config import (
+    PaperSetting,
+    grids,
+    paper_setting,
+    setting_from_params,
+    setting_to_params,
+)
 from repro.experiments.runner import ExperimentRow
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
 
 DEFAULT_MIXES = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -33,6 +43,91 @@ EDF_WEIGHTS = {"EDF short": (1.0, 2.0), "EDF long": (2.0, 1.0)}
 
 TOTAL_UTILIZATION = 0.50
 
+CELL_FN = "repro.experiments.example2:fig3_cell"
+
+
+def fig3_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    mix: float,
+    utilization: float,
+    traffic: tuple,
+    capacity: float,
+    epsilon: float,
+    s_grid: int,
+    gamma_grid: int,
+) -> dict:
+    """One (scheduler, H, mix) point of Fig. 3 — pure and picklable."""
+    setting = setting_from_params(traffic, capacity, epsilon)
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    n_total = setting.flows_for_utilization(utilization)
+    n_cross = round(mix * n_total)
+    n_through = max(n_total - n_cross, 1)
+    diagnostics: dict = {}
+    if scheduler in EDF_WEIGHTS:
+        w_through, w_cross = EDF_WEIGHTS[scheduler]
+        bound = e2e_delay_bound_edf(
+            setting.traffic, n_through, n_cross, hops,
+            setting.capacity, setting.epsilon,
+            deadline_weight_through=w_through,
+            deadline_weight_cross=w_cross,
+            **grid,
+        )
+        result, delta = bound.result, bound.delta
+        diagnostics = {
+            "edf_iterations": bound.diagnostics.iterations,
+            "edf_residual": bound.diagnostics.residual,
+            "edf_converged": bound.diagnostics.converged,
+        }
+    else:
+        delta = math.inf if scheduler == "BMUX" else 0.0
+        result = e2e_delay_bound_mmoo(
+            setting.traffic, n_through, n_cross, hops,
+            setting.capacity, delta, setting.epsilon,
+            **grid,
+        )
+    return {
+        "rows": [
+            {
+                "series": f"{scheduler} H={hops}",
+                "x": mix,
+                "delay": result.delay,
+                "extra": {"delta": delta, "gamma": result.gamma},
+            }
+        ],
+        "diagnostics": diagnostics,
+    }
+
+
+def fig3_spec(
+    *,
+    mixes: Sequence[float] = DEFAULT_MIXES,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> SweepSpec:
+    """Declare the Fig. 3 grid (one cell per (scheduler, H, mix) point)."""
+    setting = setting or paper_setting()
+    shared = {
+        **setting_to_params(setting),
+        **grids(quick),
+        "utilization": TOTAL_UTILIZATION,
+    }
+    cells = [
+        Cell.make(CELL_FN, scheduler=scheduler, hops=h, mix=mix, **shared)
+        for h in hops
+        for mix in mixes
+        for scheduler in schedulers
+    ]
+    return SweepSpec.build(
+        "fig3",
+        cells,
+        settings={"quick": quick, **shared},
+        x_label="Uc/U",
+    )
+
 
 def run_example2(
     *,
@@ -41,43 +136,16 @@ def run_example2(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    executor=None,
+    cache=None,
 ) -> list[ExperimentRow]:
-    """Compute the Fig. 3 series.
+    """Compute the Fig. 3 series through the sweep engine.
 
     ``x`` is the cross-traffic share ``U_c / U``; the series label is
     ``"<scheduler> H=<H>"``.
     """
-    setting = setting or paper_setting()
-    grid = grids(quick)
-    n_total = setting.flows_for_utilization(TOTAL_UTILIZATION)
-    rows: list[ExperimentRow] = []
-    for h in hops:
-        for mix in mixes:
-            n_cross = round(mix * n_total)
-            n_through = max(n_total - n_cross, 1)
-            for scheduler in schedulers:
-                if scheduler in EDF_WEIGHTS:
-                    w_through, w_cross = EDF_WEIGHTS[scheduler]
-                    result, delta = e2e_delay_bound_edf(
-                        setting.traffic, n_through, n_cross, h,
-                        setting.capacity, setting.epsilon,
-                        deadline_weight_through=w_through,
-                        deadline_weight_cross=w_cross,
-                        **grid,
-                    )
-                else:
-                    delta = math.inf if scheduler == "BMUX" else 0.0
-                    result = e2e_delay_bound_mmoo(
-                        setting.traffic, n_through, n_cross, h,
-                        setting.capacity, delta, setting.epsilon,
-                        **grid,
-                    )
-                rows.append(
-                    ExperimentRow(
-                        series=f"{scheduler} H={h}",
-                        x=mix,
-                        delay=result.delay,
-                        extra={"delta": delta, "gamma": result.gamma},
-                    )
-                )
-    return rows
+    spec = fig3_spec(
+        mixes=mixes, hops=hops, schedulers=schedulers,
+        setting=setting, quick=quick,
+    )
+    return run_sweep(spec, executor=executor, cache=cache).experiment_rows()

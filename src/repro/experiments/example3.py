@@ -12,6 +12,9 @@ bounds grow essentially linearly in ``H`` (the predicted
 ``Theta(H log H)``); the additive baseline is far looser and grows like
 ``O(H^3 log H)``; FIFO and BMUX appear identical across the whole range
 while EDF stays noticeably lower at higher utilizations.
+
+Declared as :func:`fig4_spec` over the top-level :func:`fig4_cell`;
+:func:`run_example3` executes it through the sweep engine.
 """
 
 from __future__ import annotations
@@ -19,14 +22,115 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.config import (
+    PaperSetting,
+    grids,
+    paper_setting,
+    setting_from_params,
+    setting_to_params,
+)
 from repro.experiments.runner import ExperimentRow
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
 from repro.network.pernode import additive_pernode_delay_bound_mmoo
 
 DEFAULT_HOPS = (1, 2, 4, 6, 8, 10)
 DEFAULT_UTILIZATIONS = (0.10, 0.50, 0.90)
 SCHEDULERS = ("BMUX", "FIFO", "EDF", "BMUX additive")
+
+CELL_FN = "repro.experiments.example3:fig4_cell"
+
+
+def fig4_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    utilization: float,
+    traffic: tuple,
+    capacity: float,
+    epsilon: float,
+    s_grid: int,
+    gamma_grid: int,
+) -> dict:
+    """One (scheduler, U, H) point of Fig. 4 — pure and picklable."""
+    setting = setting_from_params(traffic, capacity, epsilon)
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
+    diagnostics: dict = {}
+    if scheduler == "EDF":
+        bound = e2e_delay_bound_edf(
+            setting.traffic, n_half, n_half, hops,
+            setting.capacity, setting.epsilon,
+            deadline_weight_through=1.0,
+            deadline_weight_cross=10.0,
+            **grid,
+        )
+        delay = bound.result.delay
+        gamma = bound.result.gamma
+        diagnostics = {
+            "edf_iterations": bound.diagnostics.iterations,
+            "edf_residual": bound.diagnostics.residual,
+            "edf_converged": bound.diagnostics.converged,
+        }
+    elif scheduler == "BMUX additive":
+        additive = additive_pernode_delay_bound_mmoo(
+            setting.traffic, n_half, n_half, hops,
+            setting.capacity, setting.epsilon,
+            **grid,
+        )
+        delay = additive.delay
+        gamma = additive.gamma
+    else:
+        delta = math.inf if scheduler == "BMUX" else 0.0
+        result = e2e_delay_bound_mmoo(
+            setting.traffic, n_half, n_half, hops,
+            setting.capacity, delta, setting.epsilon,
+            **grid,
+        )
+        delay = result.delay
+        gamma = result.gamma
+    return {
+        "rows": [
+            {
+                "series": f"{scheduler} U={utilization * 100:.0f}%",
+                "x": float(hops),
+                "delay": delay,
+                "extra": {"gamma": gamma},
+            }
+        ],
+        "diagnostics": diagnostics,
+    }
+
+
+def fig4_spec(
+    *,
+    hops: Sequence[int] = DEFAULT_HOPS,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    schedulers: Sequence[str] = SCHEDULERS,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> SweepSpec:
+    """Declare the Fig. 4 grid (one cell per (scheduler, U, H) point)."""
+    setting = setting or paper_setting()
+    shared = {**setting_to_params(setting), **grids(quick)}
+    cells = [
+        Cell.make(
+            CELL_FN,
+            scheduler=scheduler,
+            hops=h,
+            utilization=utilization,
+            **shared,
+        )
+        for utilization in utilizations
+        for h in hops
+        for scheduler in schedulers
+    ]
+    return SweepSpec.build(
+        "fig4",
+        cells,
+        settings={"quick": quick, **shared},
+        x_label="H",
+    )
 
 
 def run_example3(
@@ -36,52 +140,16 @@ def run_example3(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    executor=None,
+    cache=None,
 ) -> list[ExperimentRow]:
-    """Compute the Fig. 4 series.
+    """Compute the Fig. 4 series through the sweep engine.
 
     ``x`` is the path length ``H``; the series label is
     ``"<scheduler> U=<U>%"``.
     """
-    setting = setting or paper_setting()
-    grid = grids(quick)
-    rows: list[ExperimentRow] = []
-    for utilization in utilizations:
-        n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
-        for h in hops:
-            for scheduler in schedulers:
-                if scheduler == "EDF":
-                    result, _ = e2e_delay_bound_edf(
-                        setting.traffic, n_half, n_half, h,
-                        setting.capacity, setting.epsilon,
-                        deadline_weight_through=1.0,
-                        deadline_weight_cross=10.0,
-                        **grid,
-                    )
-                    delay = result.delay
-                    gamma = result.gamma
-                elif scheduler == "BMUX additive":
-                    additive = additive_pernode_delay_bound_mmoo(
-                        setting.traffic, n_half, n_half, h,
-                        setting.capacity, setting.epsilon,
-                        **grid,
-                    )
-                    delay = additive.delay
-                    gamma = additive.gamma
-                else:
-                    delta = math.inf if scheduler == "BMUX" else 0.0
-                    result = e2e_delay_bound_mmoo(
-                        setting.traffic, n_half, n_half, h,
-                        setting.capacity, delta, setting.epsilon,
-                        **grid,
-                    )
-                    delay = result.delay
-                    gamma = result.gamma
-                rows.append(
-                    ExperimentRow(
-                        series=f"{scheduler} U={utilization * 100:.0f}%",
-                        x=float(h),
-                        delay=delay,
-                        extra={"gamma": gamma},
-                    )
-                )
-    return rows
+    spec = fig4_spec(
+        hops=hops, utilizations=utilizations, schedulers=schedulers,
+        setting=setting, quick=quick,
+    )
+    return run_sweep(spec, executor=executor, cache=cache).experiment_rows()

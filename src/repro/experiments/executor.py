@@ -1,0 +1,71 @@
+"""Pluggable cell executors for the sweep pipeline.
+
+An executor turns a list of independent work items into a list of
+results, preserving order.  Two implementations:
+
+* :class:`SerialExecutor` — runs the cells in-process, in grid order;
+* :class:`ParallelExecutor` — fans the cells out over a
+  ``multiprocessing`` pool (``--jobs N`` on the CLI).
+
+Cells are embarrassingly parallel (no shared state between (scheduler,
+H, U) points), so the executors need no coordination beyond order
+preservation: ``map`` always returns results in the order of its input,
+which keeps parallel rows byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """Run every cell in the calling process, in order."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan cells out over a ``multiprocessing`` pool of ``jobs`` workers.
+
+    The mapped callable and the items must be picklable (every cell
+    function of the experiment modules is a top-level function, and
+    :class:`~repro.experiments.sweep.Cell` is a frozen record of plain
+    values).  ``chunksize=1`` keeps scheduling dynamic: cell costs vary
+    by orders of magnitude (an EDF fixed point vs. a closed-form BMUX
+    bound), so static chunking would serialize the slow tail.
+    """
+
+    def __init__(self, jobs: int, *, start_method: str | None = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.start_method = start_method
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        context = multiprocessing.get_context(self.start_method)
+        workers = min(self.jobs, len(items))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(fn, items, chunksize=1)
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def make_executor(jobs: int = 1) -> SerialExecutor | ParallelExecutor:
+    """``jobs == 1`` -> serial; ``jobs > 1`` -> a process pool."""
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

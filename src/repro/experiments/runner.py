@@ -1,11 +1,13 @@
-"""Row records and table formatting for the experiment harness."""
+"""Row records, table formatting, and artifacts for the experiment harness."""
 
 from __future__ import annotations
 
 import io
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -65,3 +67,46 @@ def rows_to_csv(rows: Iterable[ExperimentRow]) -> str:
         values += [f"{row.extra.get(k, math.nan):g}" for k in extra_keys]
         out.write(",".join(values) + "\n")
     return out.getvalue()
+
+
+def dict_rows_to_csv(rows: Iterable[Mapping[str, Any]]) -> str:
+    """Serialize free-form row dicts (e.g. validation cells) to CSV.
+
+    Columns are the union of keys, in first-seen order; nested ``extra``
+    mappings are flattened into their own columns.
+    """
+    flat: list[dict[str, Any]] = []
+    for row in rows:
+        item = dict(row)
+        extra = item.pop("extra", None)
+        if isinstance(extra, Mapping):
+            item.update(extra)
+        flat.append(item)
+    columns: list[str] = []
+    for item in flat:
+        for key in item:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for item in flat:
+        values = []
+        for key in columns:
+            value = item.get(key, "")
+            if isinstance(value, float):
+                values.append(f"{value:g}")
+            else:
+                values.append(str(value))
+        out.write(",".join(values) + "\n")
+    return out.getvalue()
+
+
+def write_json_artifact(path: str | Path, artifact: Mapping[str, Any]) -> None:
+    """Write a structured sweep artifact (see ``SweepResult.to_artifact``).
+
+    Plain ``json`` with ``allow_nan`` left on: infinite bounds serialize
+    as ``Infinity``, which Python's reader round-trips exactly.
+    """
+    with open(path, "w") as handle:
+        json.dump(dict(artifact), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,319 @@
+"""Declarative sweep pipeline: cells, specs, and the run engine.
+
+Every figure of the paper is a sweep over (scheduler, H, U-or-mix)
+cells, each paying a nested free-parameter optimization.  Instead of
+hand-rolling the triple loop per figure, an experiment *declares* its
+grid:
+
+* :class:`Cell` — one grid point: a frozen, hashable record naming a
+  top-level cell function (``"pkg.module:function"``) plus its keyword
+  parameters.  Being plain data, cells pickle across process boundaries
+  and hash into stable cache keys.
+* :class:`SweepSpec` — the ordered cell grid of one experiment plus the
+  sweep-level settings (optimization grid sizes, traffic constants)
+  that enter every cell's cache key.
+* :func:`run_sweep` — executes a spec through a pluggable executor
+  (serial or ``multiprocessing``; see
+  :mod:`repro.experiments.executor`), consulting an optional on-disk
+  :class:`~repro.experiments.cache.CellCache` so warm re-runs only
+  recompute changed cells.
+
+A cell function receives the cell parameters as keyword arguments and
+returns a JSON-serializable payload ``{"rows": [...], "diagnostics":
+{...}}`` where each row is ``{"series", "x", "delay", "extra"}`` (or any
+flat mapping, for non-figure sweeps such as validation).  Results come
+back in grid order regardless of executor, so parallel rows are
+identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.experiments.cache import CellCache
+from repro.experiments.executor import SerialExecutor
+from repro.experiments.runner import ExperimentRow
+
+Pairs = tuple[tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert lists/dicts to tuples so cells stay hashable."""
+    if isinstance(value, dict):
+        return tuple(
+            (str(k), _freeze_value(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def freeze(params: Mapping[str, Any] | Pairs) -> Pairs:
+    """Normalize a parameter mapping into sorted, hashable pairs."""
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(
+        (str(k), _freeze_value(v)) for k, v in sorted(items, key=lambda kv: str(kv[0]))
+    )
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point of a sweep: a cell function plus its parameters.
+
+    ``fn`` is a dotted path ``"package.module:function"`` naming a
+    top-level (hence picklable) function; ``params`` are its keyword
+    arguments as sorted ``(name, value)`` pairs of plain values.
+    """
+
+    fn: str
+    params: Pairs = ()
+
+    @classmethod
+    def make(cls, fn: str, **params: Any) -> "Cell":
+        return cls(fn=fn, params=freeze(params))
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """The parameters as a keyword-argument dict."""
+        return dict(self.params)
+
+    def resolve(self) -> Callable[..., Mapping[str, Any]]:
+        """Import and return the cell function."""
+        module_name, _, func_name = self.fn.partition(":")
+        if not func_name:
+            raise ValueError(
+                f"cell fn must be 'module:function', got {self.fn!r}"
+            )
+        module = importlib.import_module(module_name)
+        return getattr(module, func_name)
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def cell_key(cell: Cell, settings: Pairs = ()) -> str:
+    """Stable content hash of a cell's function, parameters, and settings.
+
+    Any change to the cell parameters or the sweep-level settings (grid
+    sizes, traffic constants, ...) changes the key, which is what makes
+    the on-disk cache safely content-keyed.
+    """
+    digest = hashlib.sha256(
+        _canonical_json(
+            {"fn": cell.fn, "params": cell.params, "settings": settings}
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def execute_cell(cell: Cell) -> dict[str, Any]:
+    """Run one cell and time it (the unit mapped by the executors).
+
+    Top-level so that :class:`~repro.experiments.executor.ParallelExecutor`
+    can pickle it into worker processes.
+    """
+    start = time.perf_counter()
+    payload = dict(cell.resolve()(**cell.kwargs))
+    payload.setdefault("diagnostics", {})
+    payload["wall_time_s"] = time.perf_counter() - start
+    return payload
+
+
+def probe_cell(**params: Any) -> dict[str, Any]:
+    """A trivial cell used by the test suite to observe executions.
+
+    If ``record`` names a file, one line is appended per execution (so
+    tests can count cache hits vs. recomputations without timing).
+    """
+    record = params.get("record")
+    if record:
+        with open(record, "a") as handle:
+            handle.write("run\n")
+    value = float(params.get("value", 0.0))
+    return {
+        "rows": [
+            {
+                "series": str(params.get("series", "probe")),
+                "x": value,
+                "delay": value,
+                "extra": {},
+            }
+        ],
+        "diagnostics": {"probe": True},
+    }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The ordered cell grid of one experiment.
+
+    ``settings`` are sweep-level inputs shared by every cell (grid
+    sizes, traffic constants); they are folded into every cell's cache
+    key but not passed to the cell function — anything the function
+    needs must be a cell parameter.
+    """
+
+    name: str
+    cells: tuple[Cell, ...]
+    settings: Pairs = ()
+    x_label: str = "x"
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        cells: Iterable[Cell],
+        *,
+        settings: Mapping[str, Any] | Pairs = (),
+        x_label: str = "x",
+    ) -> "SweepSpec":
+        return cls(
+            name=name,
+            cells=tuple(cells),
+            settings=freeze(settings),
+            x_label=x_label,
+        )
+
+    def keys(self) -> list[str]:
+        return [cell_key(cell, self.settings) for cell in self.cells]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell: its rows, diagnostics, and provenance."""
+
+    cell: Cell
+    key: str
+    rows: tuple[Mapping[str, Any], ...]
+    diagnostics: Mapping[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cell results of one sweep, in grid order."""
+
+    spec: SweepSpec
+    cells: tuple[CellResult, ...]
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """Every cell's rows, flattened in grid order, as plain dicts."""
+        return [dict(row) for cell in self.cells for row in cell.rows]
+
+    def experiment_rows(self) -> list[ExperimentRow]:
+        """The rows as :class:`ExperimentRow` records (figure sweeps)."""
+        return [
+            ExperimentRow(
+                series=row["series"],
+                x=row["x"],
+                delay=row["delay"],
+                extra=dict(row.get("extra", {})),
+            )
+            for row in self.rows
+        ]
+
+    @property
+    def total_wall_time_s(self) -> float:
+        """Recorded compute time of all cells (cached ones report the
+        wall-clock of the run that originally produced them)."""
+        return sum(cell.wall_time_s for cell in self.cells)
+
+    @property
+    def computed_wall_time_s(self) -> float:
+        """Compute time actually spent in this run (cache hits excluded)."""
+        return sum(
+            cell.wall_time_s for cell in self.cells if not cell.cached
+        )
+
+    @property
+    def cached_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    def to_artifact(
+        self, *, meta: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """A JSON-serializable artifact: rows + per-cell diagnostics.
+
+        Contains everything needed to reproduce the sweep: the grid
+        (every cell's function and parameters), the sweep settings, the
+        rows, and per-cell wall-clock / diagnostics / cache provenance.
+        """
+        return {
+            "schema": "repro.sweep/1",
+            "name": self.spec.name,
+            "x_label": self.spec.x_label,
+            "settings": {k: v for k, v in self.spec.settings},
+            "meta": dict(meta or {}),
+            "total_wall_time_s": self.total_wall_time_s,
+            "cached_cells": self.cached_cells,
+            "rows": self.rows,
+            "cells": [
+                {
+                    "fn": cell.cell.fn,
+                    "params": {k: v for k, v in cell.cell.params},
+                    "key": cell.key,
+                    "cached": cell.cached,
+                    "wall_time_s": cell.wall_time_s,
+                    "diagnostics": dict(cell.diagnostics),
+                    "rows": [dict(row) for row in cell.rows],
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    executor: Any = None,
+    cache: CellCache | None = None,
+) -> SweepResult:
+    """Execute a sweep spec: cache lookups, then fan-out, then assembly.
+
+    Cells whose key is present in ``cache`` are served from disk;
+    the misses go through ``executor`` (serial by default) in one
+    batch, and their payloads are written back.  Results always come
+    back in grid order, so executor choice cannot change the rows.
+    """
+    executor = executor or SerialExecutor()
+    keys = spec.keys()
+    payloads: list[dict[str, Any] | None] = [None] * len(spec.cells)
+    cached = [False] * len(spec.cells)
+
+    if cache is not None:
+        for index, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is not None:
+                payloads[index] = hit
+                cached[index] = True
+
+    missing = [i for i, payload in enumerate(payloads) if payload is None]
+    if missing:
+        computed = executor.map(
+            execute_cell, [spec.cells[i] for i in missing]
+        )
+        for index, payload in zip(missing, computed):
+            payloads[index] = payload
+            if cache is not None:
+                cache.put(keys[index], payload)
+
+    results = tuple(
+        CellResult(
+            cell=spec.cells[index],
+            key=keys[index],
+            rows=tuple(payload.get("rows", ())),
+            diagnostics=payload.get("diagnostics", {}),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            cached=cached[index],
+        )
+        for index, payload in enumerate(payloads)
+    )
+    return SweepResult(spec=spec, cells=results)

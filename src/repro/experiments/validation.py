@@ -7,6 +7,10 @@ queueing is actually visible) it reports the analytic end-to-end bound at
 traffic.  Soundness requires quantile <= bound (up to the simulator's
 store-and-forward slack of one slot per extra hop); the gap quantifies
 the bounds' conservatism.
+
+Declared as :func:`validation_spec` over the top-level
+:func:`validation_cell`; each cell records the simulation seed, so the
+emitted artifact alone suffices to reproduce a run.
 """
 
 from __future__ import annotations
@@ -15,7 +19,14 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.config import PaperSetting, grids, paper_setting
+from repro.experiments.config import (
+    PaperSetting,
+    grids,
+    paper_setting,
+    setting_from_params,
+    setting_to_params,
+)
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_mmoo
 from repro.simulation.engine import SimulationConfig, simulate_tandem_mmoo
 
@@ -45,6 +56,115 @@ _SCHEDULER_MAP = {
     "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
 }
 
+CELL_FN = "repro.experiments.validation:validation_cell"
+
+
+def validation_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    utilization: float,
+    epsilon: float,
+    slots: int,
+    seed: int,
+    traffic: tuple,
+    capacity: float,
+    s_grid: int,
+    gamma_grid: int,
+) -> dict:
+    """One (scheduler, H) validation point — pure and picklable.
+
+    ``epsilon`` here is the *validation* violation probability (both the
+    analytic bound's target and the simulated quantile), not the paper's
+    1e-9 figure setting.
+    """
+    setting = setting_from_params(traffic, capacity, epsilon)
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    sim_name, delta, edf_deadlines = _SCHEDULER_MAP[scheduler]
+    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
+    bound = e2e_delay_bound_mmoo(
+        setting.traffic, n_half, n_half, hops, setting.capacity,
+        delta, epsilon, **grid,
+    )
+    config_kwargs = {}
+    if edf_deadlines is not None:
+        config_kwargs = {
+            "edf_deadline_through": edf_deadlines[0],
+            "edf_deadline_cross": edf_deadlines[1],
+        }
+    config = SimulationConfig(
+        traffic=setting.traffic, n_through=n_half, n_cross=n_half,
+        hops=hops, capacity=setting.capacity, slots=slots,
+        scheduler=sim_name, seed=seed, **config_kwargs,
+    )
+    delays = simulate_tandem_mmoo(config).through_delays
+    return {
+        "rows": [
+            {
+                "scheduler": scheduler,
+                "hops": hops,
+                "utilization": utilization,
+                "bound": bound.delay,
+                "simulated_quantile": delays.quantile(1.0 - epsilon),
+                "simulated_max": delays.max(),
+                "slack_allowed": float(hops - 1),
+            }
+        ],
+        "diagnostics": {"seed": seed, "slots": slots},
+    }
+
+
+def validation_spec(
+    *,
+    schedulers: Sequence[str] = ("FIFO", "BMUX", "EDF"),
+    hops: Sequence[int] = (1, 2),
+    utilization: float = 0.90,
+    epsilon: float = 1e-3,
+    slots: int = 20_000,
+    seed: int = 5,
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+) -> SweepSpec:
+    """Declare the validation grid (one cell per (scheduler, H) point)."""
+    setting = setting or paper_setting()
+    params = setting_to_params(setting)
+    shared = {
+        "traffic": params["traffic"],
+        "capacity": params["capacity"],
+        **grids(quick),
+        "utilization": utilization,
+        "epsilon": epsilon,
+        "slots": slots,
+        "seed": seed,
+    }
+    cells = [
+        Cell.make(CELL_FN, scheduler=scheduler, hops=h, **shared)
+        for scheduler in schedulers
+        for h in hops
+    ]
+    return SweepSpec.build(
+        "validation",
+        cells,
+        settings={"quick": quick, **shared},
+        x_label="H",
+    )
+
+
+def rows_to_validation(rows: Sequence[dict]) -> list[ValidationRow]:
+    """Rebuild :class:`ValidationRow` records from sweep row dicts."""
+    return [
+        ValidationRow(
+            scheduler=row["scheduler"],
+            hops=row["hops"],
+            utilization=row["utilization"],
+            bound=row["bound"],
+            simulated_quantile=row["simulated_quantile"],
+            simulated_max=row["simulated_max"],
+            slack_allowed=row["slack_allowed"],
+        )
+        for row in rows
+    ]
+
 
 def run_validation(
     *,
@@ -56,43 +176,17 @@ def run_validation(
     seed: int = 5,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    executor=None,
+    cache=None,
 ) -> list[ValidationRow]:
-    """Run the bound-vs-simulation comparison grid."""
-    setting = setting or paper_setting()
-    grid = grids(quick)
-    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
-    rows: list[ValidationRow] = []
-    for name in schedulers:
-        sim_name, delta, edf_deadlines = _SCHEDULER_MAP[name]
-        for h in hops:
-            bound = e2e_delay_bound_mmoo(
-                setting.traffic, n_half, n_half, h, setting.capacity,
-                delta, epsilon, **grid,
-            )
-            config_kwargs = {}
-            if edf_deadlines is not None:
-                config_kwargs = {
-                    "edf_deadline_through": edf_deadlines[0],
-                    "edf_deadline_cross": edf_deadlines[1],
-                }
-            config = SimulationConfig(
-                traffic=setting.traffic, n_through=n_half, n_cross=n_half,
-                hops=h, capacity=setting.capacity, slots=slots,
-                scheduler=sim_name, seed=seed, **config_kwargs,
-            )
-            delays = simulate_tandem_mmoo(config).through_delays
-            rows.append(
-                ValidationRow(
-                    scheduler=name,
-                    hops=h,
-                    utilization=utilization,
-                    bound=bound.delay,
-                    simulated_quantile=delays.quantile(1.0 - epsilon),
-                    simulated_max=delays.max(),
-                    slack_allowed=float(h - 1),
-                )
-            )
-    return rows
+    """Run the bound-vs-simulation comparison grid via the sweep engine."""
+    spec = validation_spec(
+        schedulers=schedulers, hops=hops, utilization=utilization,
+        epsilon=epsilon, slots=slots, seed=seed, setting=setting,
+        quick=quick,
+    )
+    result = run_sweep(spec, executor=executor, cache=cache)
+    return rows_to_validation(result.rows)
 
 
 def format_validation(rows: Sequence[ValidationRow]) -> str:

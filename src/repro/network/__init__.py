@@ -32,6 +32,9 @@ from repro.network.deterministic import (
 )
 from repro.network.e2e import (
     E2EResult,
+    EDFBound,
+    FixedPointDiagnostics,
+    FixedPointError,
     e2e_delay_bound,
     e2e_delay_bound_at_gamma,
     e2e_delay_bound_edf,
@@ -112,6 +115,9 @@ __all__ = [
     "e2e_delay_bound_at_gamma",
     "e2e_delay_bound_mmoo",
     "e2e_delay_bound_edf",
+    "EDFBound",
+    "FixedPointDiagnostics",
+    "FixedPointError",
     "sigma_for_epsilon",
     "HopParameters",
     "ThetaSolution",

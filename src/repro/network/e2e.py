@@ -22,8 +22,10 @@ fixed-point iteration.
 from __future__ import annotations
 
 import math
+import time
+import warnings
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import Iterator, Literal, Sequence
 
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
@@ -81,6 +83,52 @@ class E2EResult:
 
 
 _INFEASIBLE = E2EResult(math.inf, math.inf, 0.0, 0.0, 0.0, (), "exact")
+
+
+class FixedPointError(RuntimeError):
+    """The EDF deadline fixed point did not reach its tolerance."""
+
+
+@dataclass(frozen=True)
+class FixedPointDiagnostics:
+    """Convergence record of the EDF deadline fixed point.
+
+    Attributes
+    ----------
+    iterations:
+        Number of damped iterations performed (excluding the FIFO
+        bootstrap evaluation).
+    residual:
+        The final relative residual ``|delta_new - delta| /
+        max(1, |delta|)`` — compare against the tolerance.
+    converged:
+        Whether the residual met the tolerance (always ``True`` when the
+        iteration exits early because the bound went infeasible: an
+        infinite bound has nothing left to iterate on).
+    wall_time_s:
+        Wall-clock time of the whole fixed-point resolution.
+    """
+
+    iterations: int
+    residual: float
+    converged: bool
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class EDFBound:
+    """Result of :func:`e2e_delay_bound_edf` plus its diagnostics.
+
+    Iterates as ``(result, delta)`` so existing call sites can keep
+    unpacking ``result, delta = e2e_delay_bound_edf(...)``.
+    """
+
+    result: E2EResult
+    delta: float
+    diagnostics: FixedPointDiagnostics
+
+    def __iter__(self) -> Iterator:
+        return iter((self.result, self.delta))
 
 
 def sigma_for_epsilon(
@@ -316,7 +364,8 @@ def e2e_delay_bound_edf(
     max_iter: int = 40,
     s_grid: int = 24,
     gamma_grid: int = 24,
-) -> tuple[E2EResult, float]:
+    on_nonconvergence: Literal["warn", "raise", "ignore"] = "warn",
+) -> EDFBound:
     """EDF bound with self-referential deadlines (paper Examples 1-3).
 
     The examples set the per-node a priori deadlines proportional to the
@@ -325,11 +374,23 @@ def e2e_delay_bound_edf(
     ``Delta_{0,c} = (w_0 - w_c) d_e2e / H`` — a fixed point in ``d_e2e``.
     Resolved by damped iteration from the FIFO bound.
 
-    Returns ``(result, delta)`` with the converged scheduler constant.
+    Returns an :class:`EDFBound` — unpackable as ``(result, delta)`` —
+    whose ``diagnostics`` record the iteration count, the final relative
+    residual, and convergence.  If the residual does not meet ``tol``
+    within ``max_iter`` iterations, ``on_nonconvergence`` selects the
+    policy: ``"warn"`` (default) emits a :class:`RuntimeWarning` and
+    flags ``converged=False``; ``"raise"`` raises
+    :class:`FixedPointError`; ``"ignore"`` only flags the result.
     """
     check_probability(epsilon, "epsilon")
     check_positive(deadline_weight_through, "deadline_weight_through")
     check_positive(deadline_weight_cross, "deadline_weight_cross")
+    if on_nonconvergence not in ("warn", "raise", "ignore"):
+        raise ValueError(
+            "on_nonconvergence must be 'warn', 'raise', or 'ignore', got "
+            f"{on_nonconvergence!r}"
+        )
+    start = time.perf_counter()
 
     def bound_at(delta: float) -> E2EResult:
         return e2e_delay_bound_mmoo(
@@ -337,17 +398,45 @@ def e2e_delay_bound_edf(
             method=method, s_grid=s_grid, gamma_grid=gamma_grid,
         )
 
+    def done(
+        result: E2EResult, delta: float, iterations: int,
+        residual: float, converged: bool,
+    ) -> EDFBound:
+        return EDFBound(
+            result=result,
+            delta=delta,
+            diagnostics=FixedPointDiagnostics(
+                iterations=iterations,
+                residual=residual,
+                converged=converged,
+                wall_time_s=time.perf_counter() - start,
+            ),
+        )
+
     weight_gap = deadline_weight_through - deadline_weight_cross
     current = bound_at(0.0)  # FIFO start
     if not current.feasible:
-        return current, 0.0
+        return done(current, 0.0, 0, 0.0, True)
     delta = weight_gap * current.delay / hops
-    for _ in range(max_iter):
+    residual = math.inf
+    for iteration in range(1, max_iter + 1):
         result = bound_at(delta)
         if not result.feasible:
-            return result, delta
+            # an infinite bound cannot move: the iteration is at rest
+            return done(result, delta, iteration, 0.0, True)
         new_delta = weight_gap * result.delay / hops
-        if abs(new_delta - delta) <= tol * max(1.0, abs(delta)):
-            return result, new_delta
+        step = abs(new_delta - delta)
+        scale = max(1.0, abs(delta))
+        residual = step / scale
+        if step <= tol * scale:
+            return done(result, new_delta, iteration, residual, True)
         delta = 0.5 * (delta + new_delta)  # damping
-    return result, delta
+    message = (
+        f"EDF deadline fixed point did not converge in {max_iter} "
+        f"iterations: relative residual {residual:.3g} > tol {tol:g}"
+    )
+    if on_nonconvergence == "raise":
+        raise FixedPointError(message)
+    if on_nonconvergence == "warn":
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    return done(result, delta, max_iter, residual, False)

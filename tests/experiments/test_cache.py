@@ -1,0 +1,111 @@
+"""Tests for the content-keyed on-disk cell cache."""
+
+import json
+import math
+
+from repro.experiments.cache import CellCache
+from repro.experiments.sweep import Cell, SweepSpec, cell_key, run_sweep
+
+PROBE = "repro.experiments.sweep:probe_cell"
+
+
+def probe_spec(tmp_path, values, settings=None):
+    record = str(tmp_path / "executions.log")
+    cells = [
+        Cell.make(PROBE, value=float(v), record=record) for v in values
+    ]
+    return (
+        SweepSpec.build("probe", cells, settings=settings or {}),
+        tmp_path / "executions.log",
+    )
+
+
+def executions(log):
+    return len(log.read_text().splitlines()) if log.exists() else 0
+
+
+class TestCellCache:
+    def test_roundtrip(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        payload = {"rows": [{"x": 1.0, "delay": math.inf}], "diagnostics": {}}
+        cache.put("a" * 64, payload)
+        hit = cache.get("a" * 64)
+        assert hit["rows"][0]["delay"] == math.inf
+        assert hit == json.loads(json.dumps(payload))
+
+    def test_miss_on_absent(self, tmp_path):
+        assert CellCache(tmp_path / "cache").get("b" * 64) is None
+
+    def test_corrupted_file_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        key = "c" * 64
+        cache.put(key, {"rows": []})
+        cache.path_for(key).write_text("{not json!")
+        assert cache.get(key) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        key = "d" * 64
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text('{"no_rows": 1}')
+        assert cache.get(key) is None
+        cache.path_for(key).write_text('[1, 2, 3]')
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        cache.put("e" * 64, {"rows": []})
+        cache.put("f" * 64, {"rows": []})
+        assert cache.clear() == 2
+        assert cache.get("e" * 64) is None
+
+
+class TestSweepCaching:
+    def test_warm_run_recomputes_nothing(self, tmp_path):
+        spec, log = probe_spec(tmp_path, [1, 2, 3])
+        cache = CellCache(tmp_path / "cache")
+        cold = run_sweep(spec, cache=cache)
+        assert executions(log) == 3
+        assert cold.cached_cells == 0
+        warm = run_sweep(spec, cache=cache)
+        assert executions(log) == 3  # nothing recomputed
+        assert warm.cached_cells == 3
+        assert warm.rows == cold.rows
+
+    def test_changed_cell_only_recomputes_that_cell(self, tmp_path):
+        spec, log = probe_spec(tmp_path, [1, 2, 3])
+        cache = CellCache(tmp_path / "cache")
+        run_sweep(spec, cache=cache)
+        changed, _ = probe_spec(tmp_path, [1, 2, 4])
+        result = run_sweep(changed, cache=cache)
+        assert executions(log) == 4  # one extra execution, not three
+        assert result.cached_cells == 2
+        assert [row["x"] for row in result.rows] == [1.0, 2.0, 4.0]
+
+    def test_changed_settings_miss_everything(self, tmp_path):
+        spec, log = probe_spec(tmp_path, [1, 2], settings={"grid": 12})
+        cache = CellCache(tmp_path / "cache")
+        run_sweep(spec, cache=cache)
+        respec, _ = probe_spec(tmp_path, [1, 2], settings={"grid": 24})
+        result = run_sweep(respec, cache=cache)
+        assert executions(log) == 4
+        assert result.cached_cells == 0
+
+    def test_corrupted_entry_recomputed_not_crashed(self, tmp_path):
+        spec, log = probe_spec(tmp_path, [1])
+        cache = CellCache(tmp_path / "cache")
+        run_sweep(spec, cache=cache)
+        key = cell_key(spec.cells[0], spec.settings)
+        cache.path_for(key).write_text("garbage")
+        result = run_sweep(spec, cache=cache)
+        assert executions(log) == 2
+        assert result.cached_cells == 0
+        assert result.rows[0]["x"] == 1.0
+        # and the entry was repaired on the way out
+        assert cache.get(key) is not None
+
+    def test_no_cache_always_recomputes(self, tmp_path):
+        spec, log = probe_spec(tmp_path, [1, 2])
+        run_sweep(spec)
+        run_sweep(spec)
+        assert executions(log) == 4

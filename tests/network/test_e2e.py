@@ -1,12 +1,14 @@
 """Tests for the end-to-end delay-bound API (Section IV)."""
 
 import math
+import warnings
 
 import pytest
 
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
 from repro.network.e2e import (
+    FixedPointError,
     e2e_delay_bound,
     e2e_delay_bound_at_gamma,
     e2e_delay_bound_edf,
@@ -171,3 +173,52 @@ class TestEDFFixedPoint:
         )
         assert delta > 0
         assert edf.delay >= fifo.delay * (1 - 1e-6)
+
+    def test_diagnostics_on_convergence(self):
+        bound = e2e_delay_bound_edf(
+            self.TRAFFIC, 100, 236, 5, C, 1e-9, s_grid=10, gamma_grid=10,
+        )
+        diag = bound.diagnostics
+        assert diag.converged
+        assert diag.iterations >= 1
+        assert diag.residual <= 1e-4  # met the default tolerance
+        assert diag.wall_time_s > 0.0
+        # the named fields match tuple unpacking
+        result, delta = bound
+        assert result is bound.result
+        assert delta == bound.delta
+
+    def test_nonconvergence_warns_and_flags(self):
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            bound = e2e_delay_bound_edf(
+                self.TRAFFIC, 100, 236, 5, C, 1e-9,
+                s_grid=8, gamma_grid=8, max_iter=1,
+            )
+        assert not bound.diagnostics.converged
+        assert bound.diagnostics.iterations == 1
+        assert bound.diagnostics.residual > 1e-4
+
+    def test_nonconvergence_raise_policy(self):
+        with pytest.raises(FixedPointError, match="residual"):
+            e2e_delay_bound_edf(
+                self.TRAFFIC, 100, 236, 5, C, 1e-9,
+                s_grid=8, gamma_grid=8, max_iter=1,
+                on_nonconvergence="raise",
+            )
+
+    def test_nonconvergence_ignore_policy(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            bound = e2e_delay_bound_edf(
+                self.TRAFFIC, 100, 236, 5, C, 1e-9,
+                s_grid=8, gamma_grid=8, max_iter=1,
+                on_nonconvergence="ignore",
+            )
+        assert not bound.diagnostics.converged
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            e2e_delay_bound_edf(
+                self.TRAFFIC, 100, 236, 5, C, 1e-9,
+                on_nonconvergence="explode",
+            )
