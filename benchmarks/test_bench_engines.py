@@ -1,0 +1,67 @@
+"""Benchmark: the vectorized engine vs. the chunk simulator.
+
+Acceptance gate of the Monte Carlo harness: the quick validation grid
+with ``--trials 10`` must run at least 5x faster on the vectorized
+engine than on the chunk engine.  The engine-agnostic bound cells are
+primed into a shared cache first, so both timings measure exactly the
+60 trial cells (3 schedulers x 2 path lengths x 10 trials).
+"""
+
+import time
+
+from conftest import emit
+
+from repro.experiments.cache import CellCache
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.experiments.validation import (
+    BOUND_CELL_FN,
+    format_validation,
+    rows_to_validation,
+    validation_spec,
+)
+
+SPEEDUP_FLOOR = 5.0
+
+
+def test_vectorized_engine_speedup(benchmark, output_dir, tmp_path):
+    """Quick validation grid, --trials 10: vectorized >= 5x chunk."""
+    cache = CellCache(str(tmp_path / "cache"))
+    spec_vec = validation_spec(n_trials=10, engine="vectorized")
+    spec_chunk = validation_spec(n_trials=10, engine="chunk")
+    bound_cells = [c for c in spec_vec.cells if c.fn == BOUND_CELL_FN]
+    run_sweep(
+        SweepSpec.build("validation", bound_cells, settings=spec_vec.settings),
+        cache=cache,
+    )
+
+    t0 = time.perf_counter()
+    chunk_result = run_sweep(spec_chunk, cache=cache)
+    chunk_s = time.perf_counter() - t0
+
+    vec_times = []
+
+    def run_vectorized():
+        start = time.perf_counter()
+        result = run_sweep(spec_vec, cache=cache)
+        vec_times.append(time.perf_counter() - start)
+        return result
+
+    vec_result = benchmark.pedantic(run_vectorized, rounds=1, iterations=1)
+    vec_s = vec_times[-1]
+
+    rows = rows_to_validation(vec_result.rows)
+    table = format_validation(rows)
+    emit(output_dir, "validation_engine_speedup", table)
+    for row in rows:
+        assert row.sound, table
+        assert row.n_trials == 10
+    for row in rows_to_validation(chunk_result.rows):
+        assert row.sound
+
+    speedup = chunk_s / vec_s
+    benchmark.extra_info["chunk_s"] = round(chunk_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized engine only {speedup:.2f}x faster than chunk "
+        f"({vec_s:.2f}s vs {chunk_s:.2f}s); need >= {SPEEDUP_FLOOR}x"
+    )

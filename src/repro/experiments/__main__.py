@@ -39,7 +39,9 @@ from repro.experiments.validation import (
     format_validation,
     rows_to_validation,
     validation_spec,
+    validation_summary,
 )
+from repro.simulation.engine import ENGINES
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -107,8 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--epsilon", type=float, default=1e-3)
     pv.add_argument(
         "--seed", type=int, default=5,
-        help="simulation seed (recorded in the artifact for "
-        "reproducibility)",
+        help="root seed; per-trial seeds are spawned from it and "
+        "recorded in the artifact for reproducibility",
+    )
+    pv.add_argument(
+        "--trials", type=int, default=1, metavar="N",
+        help="independent Monte Carlo trials per grid point (default: 1); "
+        "the summary reports the median quantile with a 95%% "
+        "order-statistics CI and a bound-violation count",
+    )
+    pv.add_argument(
+        "--engine", choices=ENGINES, default="vectorized",
+        help="simulation engine: the vectorized fluid fast path "
+        "(default) or the exact chunk-level simulator",
     )
     _add_common(pv)
 
@@ -140,6 +153,8 @@ def _build_spec(args: argparse.Namespace):
         epsilon=args.epsilon,
         slots=args.slots,
         seed=args.seed,
+        n_trials=args.trials,
+        engine=args.engine,
         quick=not args.full,
     )
 
@@ -182,6 +197,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         }
         if args.command == "validation":
             meta["seed"] = args.seed
+            meta["trials"] = args.trials
+            meta["engine"] = args.engine
+            meta["summary"] = validation_summary(validation_rows)
         write_json_artifact(args.json, result.to_artifact(meta=meta))
         print(f"wrote {args.json}")
     return rc

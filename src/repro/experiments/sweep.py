@@ -33,7 +33,7 @@ import importlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.experiments.cache import CellCache
 from repro.experiments.executor import SerialExecutor

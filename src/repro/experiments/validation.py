@@ -8,16 +8,33 @@ traffic.  Soundness requires quantile <= bound (up to the simulator's
 store-and-forward slack of one slot per extra hop); the gap quantifies
 the bounds' conservatism.
 
-Declared as :func:`validation_spec` over the top-level
-:func:`validation_cell`; each cell records the simulation seed, so the
-emitted artifact alone suffices to reproduce a run.
+The comparison is *Monte Carlo*: each grid point runs ``n_trials``
+independent simulations whose seeds are spawned from the root seed via
+:func:`repro.simulation.engine.spawn_trial_seeds`, and the summary row
+reports the median per-trial quantile with a distribution-free
+order-statistics confidence interval plus a ``bound_violations`` count
+(trials whose quantile exceeded bound + slack).  The grid declares two
+cell kinds so the sweep cache stays maximally reusable:
+
+* one **bound cell** per (scheduler, H) — analytic only, keyed without
+  the engine, slot count, or seed, so both engines and every trial
+  count share the same cached bound;
+* one **trial cell** per (scheduler, H, trial) — keyed by its own seed
+  (and the engine), so raising ``n_trials`` only *adds* cells and a
+  previous smaller run stays fully cached.
+
+Trials fan out through whatever executor the sweep engine is given
+(``--jobs N`` on the CLI maps them over a process pool); every trial's
+seed is a cell parameter and therefore lands in the JSON artifact.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
+
+import numpy as np
 
 from repro.experiments.config import (
     PaperSetting,
@@ -28,12 +45,28 @@ from repro.experiments.config import (
 )
 from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_mmoo
-from repro.simulation.engine import SimulationConfig, simulate_tandem_mmoo
+from repro.simulation.engine import (
+    SimulationConfig,
+    simulate_tandem_mmoo,
+    spawn_trial_seeds,
+)
+from repro.simulation.metrics import order_statistics_ci
+
+#: Numerical slack on the soundness comparison (the bound itself is
+#: conservative; this only absorbs float rounding).
+_SOUND_EPS = 1e-9
 
 
 @dataclass(frozen=True)
 class ValidationRow:
-    """One validation cell: analytic bound vs. empirical quantile."""
+    """One validation grid point: analytic bound vs. Monte Carlo trials.
+
+    ``simulated_quantile`` is the median of the per-trial
+    ``(1 - eps)``-quantiles; ``quantile_lo``/``quantile_hi`` bound it
+    with a distribution-free 95% order-statistics confidence interval
+    (degenerate for a single trial).  ``bound_violations`` counts the
+    trials whose quantile exceeded ``bound + slack_allowed``.
+    """
 
     scheduler: str
     hops: int
@@ -42,11 +75,21 @@ class ValidationRow:
     simulated_quantile: float
     simulated_max: float
     slack_allowed: float
+    n_trials: int = 1
+    quantile_lo: float = math.nan
+    quantile_hi: float = math.nan
+    bound_violations: int = 0
+    trial_seeds: tuple[int, ...] = field(default=())
+    engine: str = "chunk"
 
     @property
     def sound(self) -> bool:
-        """Did the analytic bound dominate the simulation?"""
-        return self.simulated_quantile <= self.bound + self.slack_allowed
+        """Did the analytic bound dominate every simulation trial?"""
+        return (
+            self.bound_violations == 0
+            and self.simulated_quantile
+            <= self.bound + self.slack_allowed + _SOUND_EPS
+        )
 
 
 #: scheduler name -> (simulator scheduler, analysis Delta, EDF deadlines)
@@ -56,10 +99,56 @@ _SCHEDULER_MAP = {
     "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
 }
 
-CELL_FN = "repro.experiments.validation:validation_cell"
+BOUND_CELL_FN = "repro.experiments.validation:validation_bound_cell"
+TRIAL_CELL_FN = "repro.experiments.validation:validation_trial_cell"
 
 
-def validation_cell(
+def _n_half(traffic: tuple, capacity: float, epsilon: float, utilization: float) -> int:
+    setting = setting_from_params(traffic, capacity, epsilon)
+    return max(setting.flows_for_utilization(utilization) // 2, 1)
+
+
+def validation_bound_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    utilization: float,
+    epsilon: float,
+    traffic: tuple,
+    capacity: float,
+    s_grid: int,
+    gamma_grid: int,
+) -> dict:
+    """The analytic end-to-end bound of one (scheduler, H) point.
+
+    Pure analysis — no simulation parameters enter, so the cell's cache
+    key is shared by every engine, seed, and trial count.  ``epsilon``
+    is the *validation* violation probability (both the bound's target
+    and the simulated quantile level), not the paper's 1e-9 setting.
+    """
+    setting = setting_from_params(traffic, capacity, epsilon)
+    _, delta, _ = _SCHEDULER_MAP[scheduler]
+    n_half = _n_half(traffic, capacity, epsilon, utilization)
+    bound = e2e_delay_bound_mmoo(
+        setting.traffic, n_half, n_half, hops, setting.capacity,
+        delta, epsilon, s_grid=s_grid, gamma_grid=gamma_grid,
+    )
+    return {
+        "rows": [
+            {
+                "kind": "bound",
+                "scheduler": scheduler,
+                "hops": hops,
+                "utilization": utilization,
+                "bound": bound.delay,
+                "slack_allowed": float(hops - 1),
+            }
+        ],
+        "diagnostics": {"n_through": n_half, "n_cross": n_half},
+    }
+
+
+def validation_trial_cell(
     *,
     scheduler: str,
     hops: int,
@@ -67,25 +156,21 @@ def validation_cell(
     epsilon: float,
     slots: int,
     seed: int,
+    trial: int,
+    engine: str,
     traffic: tuple,
     capacity: float,
-    s_grid: int,
-    gamma_grid: int,
 ) -> dict:
-    """One (scheduler, H) validation point — pure and picklable.
+    """One Monte Carlo trial of one (scheduler, H) point.
 
-    ``epsilon`` here is the *validation* violation probability (both the
-    analytic bound's target and the simulated quantile), not the paper's
-    1e-9 figure setting.
+    ``seed`` is this trial's own seed (spawned from the root seed by
+    :func:`~repro.simulation.engine.spawn_trial_seeds`), so the cell key
+    — and with it the on-disk cache — identifies the trial regardless
+    of how many trials the declaring sweep asked for.
     """
     setting = setting_from_params(traffic, capacity, epsilon)
-    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
-    sim_name, delta, edf_deadlines = _SCHEDULER_MAP[scheduler]
-    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
-    bound = e2e_delay_bound_mmoo(
-        setting.traffic, n_half, n_half, hops, setting.capacity,
-        delta, epsilon, **grid,
-    )
+    sim_name, _, edf_deadlines = _SCHEDULER_MAP[scheduler]
+    n_half = _n_half(traffic, capacity, epsilon, utilization)
     config_kwargs = {}
     if edf_deadlines is not None:
         config_kwargs = {
@@ -95,22 +180,24 @@ def validation_cell(
     config = SimulationConfig(
         traffic=setting.traffic, n_through=n_half, n_cross=n_half,
         hops=hops, capacity=setting.capacity, slots=slots,
-        scheduler=sim_name, seed=seed, **config_kwargs,
+        scheduler=sim_name, seed=seed, engine=engine, **config_kwargs,
     )
     delays = simulate_tandem_mmoo(config).through_delays
     return {
         "rows": [
             {
+                "kind": "trial",
                 "scheduler": scheduler,
                 "hops": hops,
                 "utilization": utilization,
-                "bound": bound.delay,
+                "trial": trial,
+                "seed": seed,
+                "engine": engine,
                 "simulated_quantile": delays.quantile(1.0 - epsilon),
                 "simulated_max": delays.max(),
-                "slack_allowed": float(hops - 1),
             }
         ],
-        "diagnostics": {"seed": seed, "slots": slots},
+        "diagnostics": {"seed": seed, "slots": slots, "engine": engine},
     }
 
 
@@ -122,26 +209,46 @@ def validation_spec(
     epsilon: float = 1e-3,
     slots: int = 20_000,
     seed: int = 5,
+    n_trials: int = 1,
+    engine: str = "chunk",
     setting: PaperSetting | None = None,
     quick: bool = True,
 ) -> SweepSpec:
-    """Declare the validation grid (one cell per (scheduler, H) point)."""
+    """Declare the validation grid.
+
+    Per (scheduler, H) point: one bound cell plus ``n_trials`` trial
+    cells whose seeds come from :func:`spawn_trial_seeds` rooted at
+    ``seed``.  Neither ``n_trials`` nor ``engine`` enters the sweep
+    settings — trial seeds are prefix-stable and bound cells carry no
+    engine parameter, so growing the trial count or switching engines
+    reuses every cached cell it can.
+    """
     setting = setting or paper_setting()
     params = setting_to_params(setting)
     shared = {
         "traffic": params["traffic"],
         "capacity": params["capacity"],
-        **grids(quick),
         "utilization": utilization,
         "epsilon": epsilon,
-        "slots": slots,
-        "seed": seed,
     }
-    cells = [
-        Cell.make(CELL_FN, scheduler=scheduler, hops=h, **shared)
-        for scheduler in schedulers
-        for h in hops
-    ]
+    trial_seeds = spawn_trial_seeds(seed, n_trials)
+    cells = []
+    for scheduler in schedulers:
+        for h in hops:
+            cells.append(
+                Cell.make(
+                    BOUND_CELL_FN, scheduler=scheduler, hops=h,
+                    **shared, **grids(quick),
+                )
+            )
+            for trial, trial_seed in enumerate(trial_seeds):
+                cells.append(
+                    Cell.make(
+                        TRIAL_CELL_FN, scheduler=scheduler, hops=h,
+                        slots=slots, seed=trial_seed, trial=trial,
+                        engine=engine, **shared,
+                    )
+                )
     return SweepSpec.build(
         "validation",
         cells,
@@ -151,17 +258,82 @@ def validation_spec(
 
 
 def rows_to_validation(rows: Sequence[dict]) -> list[ValidationRow]:
-    """Rebuild :class:`ValidationRow` records from sweep row dicts."""
-    return [
-        ValidationRow(
-            scheduler=row["scheduler"],
-            hops=row["hops"],
-            utilization=row["utilization"],
-            bound=row["bound"],
-            simulated_quantile=row["simulated_quantile"],
-            simulated_max=row["simulated_max"],
-            slack_allowed=row["slack_allowed"],
+    """Aggregate kind-tagged sweep rows into :class:`ValidationRow` records.
+
+    Bound and trial rows are joined on (scheduler, hops); per point the
+    trial quantiles collapse to their median with an order-statistics CI
+    and a count of bound violations.  Output order follows the bound
+    rows' grid order.
+    """
+    bounds: dict[tuple[str, int], dict] = {}
+    trials: dict[tuple[str, int], list[dict]] = {}
+    order: list[tuple[str, int]] = []
+    for row in rows:
+        key = (str(row["scheduler"]), int(row["hops"]))
+        if row.get("kind") == "trial":
+            trials.setdefault(key, []).append(row)
+        else:
+            if key not in bounds:
+                order.append(key)
+            bounds[key] = row
+
+    out: list[ValidationRow] = []
+    for key in order:
+        bound_row = bounds[key]
+        trial_rows = sorted(
+            trials.get(key, []), key=lambda r: int(r.get("trial", 0))
         )
+        if not trial_rows:
+            raise ValueError(
+                f"no trial rows for validation point {key}"
+            )
+        bound = float(bound_row["bound"])
+        slack = float(bound_row["slack_allowed"])
+        quantiles = [float(r["simulated_quantile"]) for r in trial_rows]
+        lo, hi = order_statistics_ci(quantiles, p=0.5, confidence=0.95)
+        out.append(
+            ValidationRow(
+                scheduler=key[0],
+                hops=key[1],
+                utilization=float(bound_row["utilization"]),
+                bound=bound,
+                simulated_quantile=float(np.median(quantiles)),
+                simulated_max=max(
+                    float(r["simulated_max"]) for r in trial_rows
+                ),
+                slack_allowed=slack,
+                n_trials=len(trial_rows),
+                quantile_lo=lo,
+                quantile_hi=hi,
+                bound_violations=sum(
+                    q > bound + slack + _SOUND_EPS for q in quantiles
+                ),
+                trial_seeds=tuple(int(r["seed"]) for r in trial_rows),
+                engine=str(trial_rows[0].get("engine", "chunk")),
+            )
+        )
+    return out
+
+
+def validation_summary(rows: Sequence[ValidationRow]) -> list[dict]:
+    """The aggregated rows as plain dicts (for the JSON artifact)."""
+    return [
+        {
+            "scheduler": row.scheduler,
+            "hops": row.hops,
+            "utilization": row.utilization,
+            "bound": row.bound,
+            "simulated_quantile": row.simulated_quantile,
+            "quantile_lo": row.quantile_lo,
+            "quantile_hi": row.quantile_hi,
+            "simulated_max": row.simulated_max,
+            "slack_allowed": row.slack_allowed,
+            "n_trials": row.n_trials,
+            "bound_violations": row.bound_violations,
+            "trial_seeds": list(row.trial_seeds),
+            "engine": row.engine,
+            "sound": row.sound,
+        }
         for row in rows
     ]
 
@@ -174,6 +346,8 @@ def run_validation(
     epsilon: float = 1e-3,
     slots: int = 20_000,
     seed: int = 5,
+    n_trials: int = 1,
+    engine: str = "chunk",
     setting: PaperSetting | None = None,
     quick: bool = True,
     executor=None,
@@ -182,8 +356,8 @@ def run_validation(
     """Run the bound-vs-simulation comparison grid via the sweep engine."""
     spec = validation_spec(
         schedulers=schedulers, hops=hops, utilization=utilization,
-        epsilon=epsilon, slots=slots, seed=seed, setting=setting,
-        quick=quick,
+        epsilon=epsilon, slots=slots, seed=seed, n_trials=n_trials,
+        engine=engine, setting=setting, quick=quick,
     )
     result = run_sweep(spec, executor=executor, cache=cache)
     return rows_to_validation(result.rows)
@@ -193,12 +367,15 @@ def format_validation(rows: Sequence[ValidationRow]) -> str:
     """Readable table of the validation outcome."""
     lines = [
         f"{'scheduler':>10} {'H':>3} {'U%':>5} {'bound':>10} "
-        f"{'sim q':>10} {'sim max':>10} {'sound':>6}"
+        f"{'sim q':>10} {'ci_lo':>10} {'ci_hi':>10} {'sim max':>10} "
+        f"{'trials':>6} {'viol':>5} {'sound':>6}"
     ]
     for row in rows:
         lines.append(
             f"{row.scheduler:>10} {row.hops:>3} {row.utilization * 100:>5.0f} "
             f"{row.bound:>10.2f} {row.simulated_quantile:>10.2f} "
-            f"{row.simulated_max:>10.2f} {str(row.sound):>6}"
+            f"{row.quantile_lo:>10.2f} {row.quantile_hi:>10.2f} "
+            f"{row.simulated_max:>10.2f} {row.n_trials:>6} "
+            f"{row.bound_violations:>5} {str(row.sound):>6}"
         )
     return "\n".join(lines)

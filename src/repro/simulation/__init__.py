@@ -25,8 +25,24 @@ from repro.simulation.schedulers import (
 )
 from repro.simulation.node import Link
 from repro.simulation.network import TandemNetwork, TandemResult
-from repro.simulation.metrics import DelayRecorder, BacklogRecorder
-from repro.simulation.engine import SimulationConfig, simulate_tandem_mmoo
+from repro.simulation.metrics import (
+    BacklogRecorder,
+    DelayRecorder,
+    order_statistics_ci,
+)
+from repro.simulation.vectorized import (
+    VECTORIZED_SCHEDULERS,
+    delays_between,
+    run_tandem_vectorized,
+)
+from repro.simulation.engine import (
+    ENGINES,
+    SimulationConfig,
+    TrialResult,
+    simulate_tandem_mmoo,
+    simulate_tandem_mmoo_trials,
+    spawn_trial_seeds,
+)
 
 __all__ = [
     "SchedulerPolicy",
@@ -40,6 +56,14 @@ __all__ = [
     "TandemResult",
     "DelayRecorder",
     "BacklogRecorder",
+    "order_statistics_ci",
+    "VECTORIZED_SCHEDULERS",
+    "delays_between",
+    "run_tandem_vectorized",
+    "ENGINES",
     "SimulationConfig",
+    "TrialResult",
     "simulate_tandem_mmoo",
+    "simulate_tandem_mmoo_trials",
+    "spawn_trial_seeds",
 ]

@@ -8,8 +8,8 @@ the measured through-traffic delay distribution — one call per
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Literal
+from dataclasses import dataclass, replace
+from typing import Callable, Literal, Sequence
 
 import numpy as np
 
@@ -24,9 +24,18 @@ from repro.simulation.schedulers import (
     StaticPriorityPolicy,
     bmux_policy,
 )
+from repro.simulation.vectorized import (
+    VECTORIZED_SCHEDULERS,
+    run_tandem_vectorized,
+)
 from repro.utils.validation import check_int, check_positive
 
 SchedulerName = Literal["fifo", "bmux", "edf", "sp", "gps"]
+EngineName = Literal["chunk", "vectorized"]
+
+#: Available simulation engines: the exact chunk-level simulator and the
+#: vectorized fluid fast path (see :mod:`repro.simulation.vectorized`).
+ENGINES = ("chunk", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,7 @@ class SimulationConfig:
     seed: int = 0
     preemptive: bool = True
     packet_size: float | None = None
+    engine: EngineName = "chunk"
 
     def __post_init__(self) -> None:
         check_int(self.n_through, "n_through", minimum=1)
@@ -89,6 +99,24 @@ class SimulationConfig:
             raise ValueError("GPS is inherently preemptive (fluid)")
         if self.packet_size is not None and self.packet_size <= 0:
             raise ValueError("packet_size must be > 0")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r} (one of {ENGINES})")
+        if self.engine == "vectorized":
+            if self.scheduler not in VECTORIZED_SCHEDULERS:
+                raise ValueError(
+                    f"the vectorized engine supports {VECTORIZED_SCHEDULERS}; "
+                    f"use engine='chunk' for {self.scheduler!r}"
+                )
+            if not self.preemptive:
+                raise ValueError(
+                    "the vectorized engine models preemptive fluid links; "
+                    "use engine='chunk' for the non-preemptive packet model"
+                )
+            if self.packet_size is not None:
+                raise ValueError(
+                    "the vectorized engine has no packet granularity; "
+                    "use engine='chunk' with packet_size"
+                )
 
 
 def _policy_factory(config: SimulationConfig):
@@ -122,7 +150,8 @@ def simulate_tandem_mmoo(config: SimulationConfig) -> TandemResult:
 
     The through aggregate and each node's cross aggregate are independent
     sets of MMOO flows drawn from ``config.traffic`` with stationary
-    initial states.
+    initial states.  Both engines consume the same sampled arrival
+    arrays, so for a given seed they simulate the same sample path.
     """
     rng = np.random.default_rng(config.seed)
     through = mmoo_aggregate_arrivals(
@@ -138,6 +167,15 @@ def simulate_tandem_mmoo(config: SimulationConfig) -> TandemResult:
             )
         else:
             cross_rows.append(np.zeros(config.slots))
+    if config.engine == "vectorized":
+        return run_tandem_vectorized(
+            through,
+            cross_rows,
+            capacity=config.capacity,
+            scheduler=config.scheduler,
+            edf_deadline_through=config.edf_deadline_through,
+            edf_deadline_cross=config.edf_deadline_cross,
+        )
     network = TandemNetwork(
         config.capacity,
         config.hops,
@@ -146,3 +184,54 @@ def simulate_tandem_mmoo(config: SimulationConfig) -> TandemResult:
         packet_size=config.packet_size,
     )
     return network.run(through, cross_rows)
+
+
+def spawn_trial_seeds(root_seed: int, n_trials: int) -> tuple[int, ...]:
+    """Independent per-trial seeds spawned from a root ``SeedSequence``.
+
+    Deterministic in ``(root_seed, n_trials)`` and prefix-stable: the
+    first ``k`` seeds of ``n_trials = m >= k`` equal the seeds of
+    ``n_trials = k``, so raising the trial count only *adds* trials —
+    cached trial cells of a previous, smaller run stay valid.
+    """
+    check_int(n_trials, "n_trials", minimum=1)
+    state = np.random.SeedSequence(root_seed).generate_state(
+        n_trials, dtype=np.uint64
+    )
+    return tuple(int(s) for s in state)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One Monte Carlo trial: the seed it ran under and its measurements."""
+
+    seed: int
+    result: TandemResult
+
+
+def _simulate_trial(args: tuple[SimulationConfig, int]) -> TrialResult:
+    """Top-level trial runner (picklable for process-pool executors)."""
+    config, seed = args
+    return TrialResult(seed=seed, result=simulate_tandem_mmoo(replace(config, seed=seed)))
+
+
+def simulate_tandem_mmoo_trials(
+    config: SimulationConfig,
+    n_trials: int,
+    *,
+    executor: object | None = None,
+) -> list[TrialResult]:
+    """Run ``n_trials`` independent simulations of ``config``.
+
+    Per-trial seeds come from :func:`spawn_trial_seeds` rooted at
+    ``config.seed``; ``executor`` may be anything with a
+    ``map(fn, iterable)`` method (e.g. the experiments layer's
+    ``SerialExecutor`` / ``ParallelExecutor``) and defaults to an
+    in-process loop.
+    """
+    seeds = spawn_trial_seeds(config.seed, n_trials)
+    jobs = [(config, seed) for seed in seeds]
+    if executor is None:
+        return [_simulate_trial(job) for job in jobs]
+    mapper: Callable[..., Sequence[TrialResult]] = executor.map  # type: ignore[attr-defined]
+    return list(mapper(_simulate_trial, jobs))

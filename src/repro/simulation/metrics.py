@@ -7,6 +7,7 @@ process ``W(t)`` of the analysis, where every bit of traffic has a delay.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -20,6 +21,42 @@ class DelayRecorder:
     def __init__(self) -> None:
         self._delays: list[float] = []
         self._weights: list[float] = []
+
+    @classmethod
+    def from_arrays(
+        cls, delays: Sequence[float], weights: Sequence[float]
+    ) -> "DelayRecorder":
+        """Build a recorder from parallel delay/weight arrays (the
+        vectorized engine's bulk path).
+
+        Equal delays are merged and zero-weight entries dropped, so the
+        recorder holds one entry per distinct delay regardless of how
+        many mass segments produced it.
+        """
+        delays = np.asarray(delays)
+        weights = np.asarray(weights, dtype=float)
+        if delays.shape != weights.shape:
+            raise ValueError("delays and weights must have equal length")
+        recorder = cls()
+        if delays.size == 0:
+            return recorder
+        if float(delays.min()) < 0:
+            raise ValueError("delays must be >= 0")
+        if np.issubdtype(delays.dtype, np.integer):
+            # integer delays (the vectorized engine's slot delays): a
+            # bincount beats the sort-based unique by a wide margin
+            mass = np.bincount(delays, weights=weights)
+            nonzero = np.nonzero(mass > 0)[0]
+            recorder._delays = nonzero.astype(float).tolist()
+            recorder._weights = mass[nonzero].tolist()
+            return recorder
+        unique, inverse = np.unique(delays.astype(float), return_inverse=True)
+        mass = np.zeros(len(unique))
+        np.add.at(mass, inverse, weights)
+        keep = mass > 0
+        recorder._delays = unique[keep].tolist()
+        recorder._weights = mass[keep].tolist()
+        return recorder
 
     def record(self, delay: float, size: float) -> None:
         """Add ``size`` units of traffic that experienced ``delay`` slots."""
@@ -74,11 +111,64 @@ class DelayRecorder:
         return float(w[d > threshold].sum() / w.sum())
 
 
+def order_statistics_ci(
+    samples: Sequence[float], *, p: float = 0.5, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Distribution-free confidence interval for the ``p``-quantile.
+
+    Uses the classical order-statistics construction: with ``B`` the
+    number of samples below the true quantile, ``B ~ Binomial(n, p)``,
+    so ranks ``l`` and ``u`` chosen from the binomial tails give
+    ``P(X_(l) <= q_p <= X_(u)) >= confidence``.  Ranks are conservative
+    (rounded outward); with a single sample the interval degenerates to
+    that sample.  Typical use: the per-trial delay quantiles of a Monte
+    Carlo validation run, ``p = 0.5`` for a CI on their median.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    ordered = sorted(float(x) for x in samples)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if n == 1:
+        return ordered[0], ordered[0]
+    alpha = 1.0 - confidence
+    # cdf[k] = P(Binomial(n, p) <= k)
+    pmf = [math.comb(n, k) * p**k * (1.0 - p) ** (n - k) for k in range(n + 1)]
+    cdf = list(np.cumsum(pmf))
+    lower = 1
+    for k in range(1, n + 1):
+        if cdf[k - 1] <= alpha / 2.0:
+            lower = k
+        else:
+            break
+    upper = n
+    for k in range(n, 0, -1):
+        if 1.0 - cdf[k - 1] <= alpha / 2.0:
+            upper = k
+        else:
+            break
+    if upper < lower:
+        lower, upper = 1, n
+    return ordered[lower - 1], ordered[upper - 1]
+
+
 class BacklogRecorder:
     """Per-slot backlog samples of a link."""
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BacklogRecorder":
+        """Build a recorder from a per-slot backlog array."""
+        recorder = cls()
+        recorder._samples = [float(s) for s in np.asarray(samples, dtype=float)]
+        if recorder._samples and min(recorder._samples) < 0:
+            raise ValueError("backlog must be >= 0")
+        return recorder
 
     def record(self, backlog: float) -> None:
         if backlog < 0:

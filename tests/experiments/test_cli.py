@@ -43,10 +43,23 @@ class TestParser:
         assert args.slots == 5000
         assert args.epsilon == 0.01
         assert args.seed == 5  # default, recorded in artifacts
+        assert args.trials == 1
+        assert args.engine == "vectorized"
 
     def test_validation_seed(self):
         args = build_parser().parse_args(["validation", "--seed", "11"])
         assert args.seed == 11
+
+    def test_validation_trials_and_engine(self):
+        args = build_parser().parse_args(
+            ["validation", "--trials", "10", "--engine", "chunk"]
+        )
+        assert args.trials == 10
+        assert args.engine == "chunk"
+
+    def test_validation_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validation", "--engine", "warp"])
 
     def test_cache_and_artifact_flags_on_every_subcommand(self):
         for command in ("fig2", "fig3", "fig4", "validation"):
@@ -121,21 +134,37 @@ class TestMain:
             assert cell["wall_time_s"] >= 0.0
             assert "key" in cell and "params" in cell
 
-    def test_validation_artifact_records_seed(self, capsys, tmp_path):
+    def test_validation_artifact_records_trial_seeds(self, capsys, tmp_path):
+        from repro.simulation.engine import spawn_trial_seeds
+
         json_path = tmp_path / "validation.json"
         rc = main(
             [
                 "validation", "--hops", "1", "--slots", "4000",
-                "--seed", "7", "--json", str(json_path), "--no-cache",
+                "--seed", "7", "--trials", "2",
+                "--json", str(json_path), "--no-cache",
             ]
         )
         assert rc == 0
         artifact = json.loads(json_path.read_text())
-        assert artifact["settings"]["seed"] == 7
-        assert artifact["settings"]["slots"] == 4000
         assert artifact["meta"]["seed"] == 7
+        assert artifact["meta"]["trials"] == 2
+        assert artifact["meta"]["engine"] == "vectorized"
         assert artifact["settings"]["epsilon"] == 1e-3
         assert artifact["settings"]["traffic"] == [1.5, 0.989, 0.9]
+        # every trial's own seed is reproducible from the artifact alone:
+        # it appears in the summary, the trial rows, and the cell params
+        expected = list(spawn_trial_seeds(7, 2))
+        for point in artifact["meta"]["summary"]:
+            assert point["trial_seeds"] == expected
+            assert point["bound_violations"] == 0
+            assert point["quantile_lo"] <= point["quantile_hi"]
+        trial_cells = [
+            c for c in artifact["cells"] if c["fn"].endswith("trial_cell")
+        ]
+        assert {c["params"]["seed"] for c in trial_cells} == set(expected)
+        trial_rows = [r for r in artifact["rows"] if r["kind"] == "trial"]
+        assert {r["seed"] for r in trial_rows} == set(expected)
 
     def test_jobs2_rows_byte_identical_to_serial(self, capsys, tmp_path):
         serial_csv = tmp_path / "serial.csv"

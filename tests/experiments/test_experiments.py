@@ -176,3 +176,49 @@ class TestValidation:
         rows = run_validation(schedulers=("FIFO",), hops=(1,), slots=4_000)
         text = format_validation(rows)
         assert "FIFO" in text and "sound" in text
+        assert "trials" in text and "viol" in text
+
+    def test_multi_trial_aggregates(self):
+        rows = run_validation(
+            schedulers=("FIFO",), hops=(1,), slots=4_000, n_trials=5,
+            engine="vectorized",
+        )
+        (row,) = rows
+        assert row.n_trials == 5
+        assert len(row.trial_seeds) == 5
+        assert len(set(row.trial_seeds)) == 5  # independent seeds
+        assert row.quantile_lo <= row.simulated_quantile <= row.quantile_hi
+        assert row.bound_violations == 0 and row.sound
+        assert row.engine == "vectorized"
+
+    def test_engines_agree_within_one_slot(self):
+        kwargs = dict(schedulers=("FIFO",), hops=(2,), slots=4_000)
+        (chunk,) = run_validation(engine="chunk", **kwargs)
+        (vec,) = run_validation(engine="vectorized", **kwargs)
+        assert abs(chunk.simulated_quantile - vec.simulated_quantile) <= 1.0
+
+    def test_trial_cells_cache_incrementally(self, tmp_path):
+        """Growing --trials and switching engines reuse cached cells:
+        trial seeds are prefix-stable and bound cells engine-agnostic."""
+        from repro.experiments.cache import CellCache
+        from repro.experiments.sweep import run_sweep
+        from repro.experiments.validation import validation_spec
+
+        cache = CellCache(str(tmp_path / "cache"))
+        kwargs = dict(schedulers=("FIFO",), hops=(1,), slots=2_000)
+        first = run_sweep(
+            validation_spec(n_trials=2, engine="vectorized", **kwargs),
+            cache=cache,
+        )
+        assert first.cached_cells == 0  # 1 bound + 2 trial cells, cold
+        grown = run_sweep(
+            validation_spec(n_trials=3, engine="vectorized", **kwargs),
+            cache=cache,
+        )
+        assert len(grown.cells) == 4
+        assert grown.cached_cells == 3  # bound + both previous trials
+        switched = run_sweep(
+            validation_spec(n_trials=3, engine="chunk", **kwargs),
+            cache=cache,
+        )
+        assert switched.cached_cells == 1  # the engine-agnostic bound

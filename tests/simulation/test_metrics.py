@@ -1,0 +1,195 @@
+"""Unit tests for the measurement collectors.
+
+Focus: weighted-quantile edge cases (single sample, all-equal weights,
+``eps`` finer than the sample resolution), the bulk ``from_arrays``
+constructors used by the vectorized engine, and the order-statistics
+confidence interval behind the multi-trial validation summary.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import (
+    BacklogRecorder,
+    DelayRecorder,
+    order_statistics_ci,
+)
+
+
+class TestWeightedQuantileEdgeCases:
+    def test_empty_recorder(self):
+        r = DelayRecorder()
+        assert r.quantile(0.999) == 0.0
+        assert r.max() == 0.0
+        assert r.mean() == 0.0
+        assert r.total_mass == 0.0
+
+    def test_single_sample_every_level(self):
+        r = DelayRecorder()
+        r.record(7.0, 3.0)
+        for p in (0.0, 0.001, 0.5, 0.999, 1.0):
+            assert r.quantile(p) == 7.0
+
+    def test_all_equal_weights_matches_unweighted(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        r = DelayRecorder()
+        for v in values:
+            r.record(v, 2.5)
+        # with uniform weights the weighted quantile is the order
+        # statistic at ceil(p * n)
+        ordered = sorted(values)
+        for p in (0.25, 0.5, 0.75):
+            expected = ordered[math.ceil(p * len(values)) - 1]
+            assert r.quantile(p) == expected
+
+    def test_eps_beyond_sample_resolution_returns_max(self):
+        # 1 - eps above the mass of everything but the largest delay:
+        # the quantile must land on the largest observed delay, never
+        # beyond it
+        r = DelayRecorder()
+        r.record(1.0, 999.0)
+        r.record(50.0, 1.0)  # one part in 1000
+        assert r.quantile(1.0 - 1e-6) == 50.0
+        assert r.quantile(1.0 - 1e-12) == 50.0
+
+    def test_heavy_weight_dominates(self):
+        r = DelayRecorder()
+        r.record(1.0, 1.0)
+        r.record(10.0, 100.0)
+        assert r.quantile(0.5) == 10.0
+
+    def test_mass_exactly_at_target_is_inclusive(self):
+        r = DelayRecorder()
+        r.record(1.0, 1.0)
+        r.record(2.0, 1.0)
+        assert r.quantile(0.5) == 1.0
+
+    def test_quantile_validation(self):
+        r = DelayRecorder()
+        with pytest.raises(ValueError):
+            r.quantile(1.5)
+
+    def test_exceed_fraction(self):
+        r = DelayRecorder()
+        r.record(1.0, 3.0)
+        r.record(5.0, 1.0)
+        assert r.exceed_fraction(1.0) == pytest.approx(0.25)
+        assert r.exceed_fraction(0.5) == 1.0
+        assert r.exceed_fraction(5.0) == 0.0
+
+
+class TestFromArrays:
+    def test_integer_delays_merge_by_bincount(self):
+        r = DelayRecorder.from_arrays(
+            np.array([3, 0, 3, 1], dtype=np.int64),
+            np.array([1.0, 2.0, 0.5, 4.0]),
+        )
+        assert r.total_mass == pytest.approx(7.5)
+        assert r.count() == 3  # 0, 1, 3 after merging
+        assert r.max() == 3.0
+        assert r.quantile(0.5) == 1.0
+
+    def test_float_delays_merge_by_unique(self):
+        r = DelayRecorder.from_arrays(
+            np.array([0.5, 0.5, 2.0]), np.array([1.0, 1.0, 2.0])
+        )
+        assert r.count() == 2
+        assert r.total_mass == pytest.approx(4.0)
+        assert r.quantile(0.5) == 0.5
+
+    def test_zero_weights_dropped(self):
+        r = DelayRecorder.from_arrays(
+            np.array([1, 2], dtype=np.int64), np.array([0.0, 1.0])
+        )
+        assert r.count() == 1
+        assert r.max() == 2.0
+
+    def test_matches_incremental_recording(self):
+        rng = np.random.default_rng(3)
+        delays = rng.integers(0, 20, size=200)
+        weights = rng.uniform(0.1, 2.0, size=200)
+        bulk = DelayRecorder.from_arrays(delays, weights)
+        loop = DelayRecorder()
+        for d, w in zip(delays, weights):
+            loop.record(float(d), float(w))
+        assert bulk.total_mass == pytest.approx(loop.total_mass)
+        for p in (0.1, 0.5, 0.9, 0.999):
+            assert bulk.quantile(p) == loop.quantile(p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayRecorder.from_arrays(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            DelayRecorder.from_arrays(np.array([-1.0]), np.array([1.0]))
+
+    def test_empty_arrays(self):
+        r = DelayRecorder.from_arrays(np.array([]), np.array([]))
+        assert r.count() == 0 and r.total_mass == 0.0
+
+
+class TestOrderStatisticsCI:
+    def test_single_sample_degenerates(self):
+        assert order_statistics_ci([4.2]) == (4.2, 4.2)
+
+    def test_known_ranks_n10_median(self):
+        # classical table value: n=10, p=0.5, 95% -> ranks (2, 9)
+        samples = list(range(1, 11))
+        assert order_statistics_ci(samples) == (2.0, 9.0)
+
+    def test_interval_contains_median_and_is_ordered(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=25).tolist()
+        lo, hi = order_statistics_ci(samples)
+        assert lo <= float(np.median(samples)) <= hi
+
+    def test_order_of_input_is_irrelevant(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0, 9.0, 7.0, 8.0, 6.0, 10.0]
+        assert order_statistics_ci(samples) == order_statistics_ci(
+            sorted(samples)
+        )
+
+    def test_higher_confidence_widens(self):
+        samples = list(range(30))
+        lo95, hi95 = order_statistics_ci(samples, confidence=0.95)
+        lo99, hi99 = order_statistics_ci(samples, confidence=0.99)
+        assert lo99 <= lo95 and hi99 >= hi95
+
+    def test_coverage_simulation(self):
+        # empirical coverage of the 95% CI for the median over repeated
+        # draws must be at least nominal (the construction is
+        # conservative)
+        rng = np.random.default_rng(7)
+        hits = 0
+        n_rep = 400
+        for _ in range(n_rep):
+            samples = rng.exponential(size=15)
+            lo, hi = order_statistics_ci(samples)
+            if lo <= math.log(2.0) <= hi:  # true median of Exp(1)
+                hits += 1
+        assert hits / n_rep >= 0.93
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            order_statistics_ci([])
+        with pytest.raises(ValueError):
+            order_statistics_ci([1.0], p=0.0)
+        with pytest.raises(ValueError):
+            order_statistics_ci([1.0], confidence=1.0)
+
+
+class TestBacklogRecorder:
+    def test_from_samples_roundtrip(self):
+        r = BacklogRecorder.from_samples(np.array([0.0, 2.0, 1.0]))
+        assert r.max() == 2.0
+        assert r.mean() == pytest.approx(1.0)
+        assert tuple(r.samples()) == (0.0, 2.0, 1.0)
+
+    def test_from_samples_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BacklogRecorder.from_samples(np.array([-1.0]))
+
+    def test_quantile(self):
+        r = BacklogRecorder.from_samples(np.arange(101, dtype=float))
+        assert r.quantile(0.5) == pytest.approx(50.0)

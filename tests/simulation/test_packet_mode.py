@@ -1,7 +1,6 @@
 """Tests for the non-preemptive packet model and the packetized service
 curves (the paper's fluid-assumption relaxation)."""
 
-import numpy as np
 import pytest
 
 from repro.algebra.functions import PiecewiseLinear

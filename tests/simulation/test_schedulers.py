@@ -1,0 +1,129 @@
+"""Behavioral tests for the GPS and static-priority scheduler policies.
+
+The Delta-scheduler policies (FIFO/EDF/BMUX) are exercised all over the
+validation suite; these tests pin down the two remaining families at the
+link level: static priority's strict precedence drain and GPS's
+weight-proportional water-filling (the canonical *non*-Delta scheduler).
+"""
+
+import math
+
+import pytest
+
+from repro.simulation.chunk import Chunk
+from repro.simulation.node import Link
+from repro.simulation.schedulers import (
+    GPSPolicy,
+    StaticPriorityPolicy,
+    bmux_policy,
+)
+
+
+def flow_mass(chunks, flow):
+    return sum(c.size for c in chunks if c.flow == flow)
+
+
+class TestStaticPriorityPolicy:
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StaticPriorityPolicy({})
+
+    def test_tag_is_negated_priority(self):
+        sp = StaticPriorityPolicy({"hi": 2.0, "lo": 1.0})
+        hi = Chunk("hi", 1.0, 0)
+        lo = Chunk("lo", 1.0, 0)
+        assert sp.tag(hi, slot=7) < sp.tag(lo, slot=7)
+
+    def test_is_precedence_based(self):
+        assert StaticPriorityPolicy({"a": 1.0}).is_precedence_based
+
+    def test_high_priority_drains_first(self):
+        link = Link(2.0, StaticPriorityPolicy({"hi": 1.0, "lo": 0.0}))
+        link.offer(Chunk("lo", 2.0, 0), slot=0)
+        link.offer(Chunk("hi", 2.0, 0), slot=0)
+        departed = link.advance(0)
+        assert flow_mass(departed, "hi") == 2.0
+        assert flow_mass(departed, "lo") == 0.0
+        assert flow_mass(link.advance(1), "lo") == 2.0
+
+    def test_late_high_priority_preempts_backlog(self):
+        link = Link(1.0, StaticPriorityPolicy({"hi": 1.0, "lo": 0.0}))
+        link.offer(Chunk("lo", 3.0, 0), slot=0)
+        link.advance(0)  # one unit of lo served, two backlogged
+        link.offer(Chunk("hi", 1.0, 1), slot=1)
+        departed = link.advance(1)
+        assert flow_mass(departed, "hi") == 1.0
+        assert flow_mass(departed, "lo") == 0.0
+
+    def test_equal_priority_is_fifo(self):
+        link = Link(1.0, StaticPriorityPolicy({"a": 1.0, "b": 1.0}))
+        link.offer(Chunk("a", 1.0, 0), slot=0)
+        link.advance(0)
+        link.offer(Chunk("b", 1.0, 1), slot=1)
+        link.offer(Chunk("a", 1.0, 1), slot=1)
+        # same level: offer order (seq) breaks the tie
+        assert flow_mass(link.advance(1), "b") == 1.0
+
+    def test_bmux_matches_sp_with_through_lowest(self):
+        bmux = bmux_policy("through", ["through", "cross"])
+        chunk_t = Chunk("through", 1.0, 0)
+        chunk_c = Chunk("cross", 1.0, 0)
+        assert bmux.tag(chunk_c, 0) < bmux.tag(chunk_t, 0)
+
+
+class TestGPSPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPSPolicy({})
+        with pytest.raises(ValueError):
+            GPSPolicy({"a": 0.0})
+        with pytest.raises(ValueError):
+            GPSPolicy({"a": -1.0})
+        with pytest.raises(ValueError):
+            GPSPolicy({"a": math.inf})
+
+    def test_not_precedence_based_and_nan_delta(self):
+        gps = GPSPolicy({"a": 1.0, "b": 2.0})
+        assert not gps.is_precedence_based
+        assert math.isnan(gps.delta("a", "b"))
+
+    def test_rejects_nonpreemptive_link(self):
+        with pytest.raises(ValueError):
+            Link(1.0, GPSPolicy({"a": 1.0}), preemptive=False)
+
+    def test_weighted_shares_when_both_backlogged(self):
+        link = Link(4.0, GPSPolicy({"a": 3.0, "b": 1.0}))
+        link.offer(Chunk("a", 10.0, 0), slot=0)
+        link.offer(Chunk("b", 10.0, 0), slot=0)
+        departed = link.advance(0)
+        assert flow_mass(departed, "a") == pytest.approx(3.0)
+        assert flow_mass(departed, "b") == pytest.approx(1.0)
+
+    def test_water_filling_redistributes_unused_share(self):
+        # flow a only has 1 unit; its unused share flows to b
+        link = Link(4.0, GPSPolicy({"a": 1.0, "b": 1.0}))
+        link.offer(Chunk("a", 1.0, 0), slot=0)
+        link.offer(Chunk("b", 10.0, 0), slot=0)
+        departed = link.advance(0)
+        assert flow_mass(departed, "a") == pytest.approx(1.0)
+        assert flow_mass(departed, "b") == pytest.approx(3.0)
+
+    def test_work_conserving_single_flow(self):
+        link = Link(2.0, GPSPolicy({"a": 1.0, "b": 5.0}))
+        link.offer(Chunk("a", 5.0, 0), slot=0)
+        assert flow_mass(link.advance(0), "a") == pytest.approx(2.0)
+        assert link.backlog() == pytest.approx(3.0)
+
+    def test_within_flow_order_is_fifo(self):
+        link = Link(1.0, GPSPolicy({"a": 1.0}))
+        link.offer(Chunk("a", 1.0, 0), slot=0)
+        link.offer(Chunk("a", 1.0, 1), slot=1)
+        first = link.advance(1)
+        second = link.advance(2)
+        assert [c.origin_slot for c in first] == [0]
+        assert [c.origin_slot for c in second] == [1]
+
+    def test_empty_link_serves_nothing(self):
+        link = Link(1.0, GPSPolicy({"a": 1.0}))
+        assert link.advance(0) == []
+        assert link.backlog() == 0.0

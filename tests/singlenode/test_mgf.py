@@ -7,7 +7,7 @@ import pytest
 
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
-from repro.scheduling.delta import BMUX, FIFO
+from repro.scheduling.delta import BMUX
 from repro.service.leftover import leftover_service_curve
 from repro.singlenode.delay import delay_bound
 from repro.singlenode.mgf import mgf_delay_bound, mgf_violation_probability
