@@ -16,6 +16,10 @@ factor, and a benchmark regresses only if it is slower than
 ``baseline * machine_factor * (1 + tolerance)`` — i.e. it got slower
 *relative to the rest of the suite*.  ``--raw`` compares absolute means
 instead.  Exit status 1 on any regression (the CI gate), 0 otherwise.
+Benchmarks present only on one side also fail the gate: a baseline row
+without a current run is ``missing``, and a current benchmark without a
+baseline row is ``UNBASELINED`` (re-baseline with ``--update`` so new
+benchmarks are gated from their first commit).
 
 Stdlib only — runs before/without the project's dependencies.
 """
@@ -90,8 +94,11 @@ def compare(
             f"{ratio:>7.2f} {status:>10}"
         )
     for name in sorted(set(current) - set(baseline)):
+        # a benchmark without a baseline row is ungated — fail so the
+        # author re-baselines (--update) instead of shipping it unwatched
         lines.append(f"{name[-60:]:<60} {'--':>9} {current[name]:>9.4f} "
-                     f"{'--':>7} {'new':>10}")
+                     f"{'--':>7} {'UNBASELINED':>11}")
+        regressions.append(name)
     for name in sorted(set(baseline) - set(current)):
         lines.append(f"{name[-60:]:<60} {baseline[name]:>9.4f} {'--':>9} "
                      f"{'--':>7} {'missing':>10}")
@@ -141,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print("\n".join(lines))
     if regressions:
-        print(f"\n{len(regressions)} benchmark(s) regressed: "
+        print(f"\n{len(regressions)} benchmark(s) failed the gate: "
               + ", ".join(regressions), file=sys.stderr)
         return 1
     print("\nno regressions")

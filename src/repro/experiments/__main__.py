@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments fig2 [--full] [--jobs 4] [--csv out.csv]
+    python -m repro.experiments fig2 --backend scalar   # reference path
     python -m repro.experiments fig3 --hops 2 5 --json fig3.json
     python -m repro.experiments fig4 --utilizations 0.5 --no-cache
     python -m repro.experiments validation --slots 30000 --seed 7
@@ -24,6 +25,7 @@ import sys
 from typing import Sequence
 
 from repro.experiments.cache import DEFAULT_CACHE_DIR, CellCache
+from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
 from repro.experiments.example1 import fig2_spec
 from repro.experiments.example2 import fig3_spec
 from repro.experiments.example3 import fig4_spec
@@ -53,6 +55,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="compute cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="bound-computation backend: vectorized numpy kernels "
+        "(default) or the scalar reference path",
     )
     parser.add_argument(
         "--csv", metavar="PATH", help="also write the rows as CSV"
@@ -134,18 +141,21 @@ def _build_spec(args: argparse.Namespace):
             utilizations=tuple(args.utilizations),
             hops=tuple(args.hops),
             quick=not args.full,
+            backend=args.backend,
         )
     if args.command == "fig3":
         return fig3_spec(
             mixes=tuple(args.mixes),
             hops=tuple(args.hops),
             quick=not args.full,
+            backend=args.backend,
         )
     if args.command == "fig4":
         return fig4_spec(
             hops=tuple(args.hops),
             utilizations=tuple(args.utilizations),
             quick=not args.full,
+            backend=args.backend,
         )
     return validation_spec(
         hops=tuple(args.hops),
@@ -156,6 +166,7 @@ def _build_spec(args: argparse.Namespace):
         n_trials=args.trials,
         engine=args.engine,
         quick=not args.full,
+        backend=args.backend,
     )
 
 
@@ -194,6 +205,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "command": args.command,
             "jobs": args.jobs,
             "full": args.full,
+            "backend": args.backend,
         }
         if args.command == "validation":
             meta["seed"] = args.seed

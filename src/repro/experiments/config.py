@@ -28,6 +28,13 @@ CAPACITY = 100.0
 #: Target violation probability of all examples.
 EPSILON = 1e-9
 
+#: Numeric backends for the bound computations: the numpy backend runs
+#: the free-parameter search through the vectorized kernels of
+#: :mod:`repro.network.vectorized`; the scalar backend is the plain
+#: per-probe reference implementation.  Both return the same bounds.
+BACKENDS = ("numpy", "scalar")
+DEFAULT_BACKEND = "numpy"
+
 
 @dataclass(frozen=True)
 class PaperSetting:

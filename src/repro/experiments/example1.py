@@ -23,6 +23,7 @@ import math
 from typing import Sequence
 
 from repro.experiments.config import (
+    DEFAULT_BACKEND,
     PaperSetting,
     grids,
     paper_setting,
@@ -54,10 +55,11 @@ def fig2_cell(
     epsilon: float,
     s_grid: int,
     gamma_grid: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict:
     """One (scheduler, H, U) point of Fig. 2 — pure and picklable."""
     setting = setting_from_params(traffic, capacity, epsilon)
-    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid, "backend": backend}
     n_total = setting.flows_for_utilization(utilization)
     n_cross = max(n_total - n_through, 0)
     diagnostics: dict = {}
@@ -107,6 +109,7 @@ def fig2_spec(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepSpec:
     """Declare the Fig. 2 grid (one cell per (scheduler, H, U) point)."""
     setting = setting or paper_setting()
@@ -114,6 +117,7 @@ def fig2_spec(
         **setting_to_params(setting),
         **grids(quick),
         "n_through": N_THROUGH,
+        "backend": backend,
     }
     cells = [
         Cell.make(

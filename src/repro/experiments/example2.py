@@ -23,6 +23,7 @@ import math
 from typing import Sequence
 
 from repro.experiments.config import (
+    DEFAULT_BACKEND,
     PaperSetting,
     grids,
     paper_setting,
@@ -57,10 +58,11 @@ def fig3_cell(
     epsilon: float,
     s_grid: int,
     gamma_grid: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict:
     """One (scheduler, H, mix) point of Fig. 3 — pure and picklable."""
     setting = setting_from_params(traffic, capacity, epsilon)
-    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid, "backend": backend}
     n_total = setting.flows_for_utilization(utilization)
     n_cross = round(mix * n_total)
     n_through = max(n_total - n_cross, 1)
@@ -107,6 +109,7 @@ def fig3_spec(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepSpec:
     """Declare the Fig. 3 grid (one cell per (scheduler, H, mix) point)."""
     setting = setting or paper_setting()
@@ -114,6 +117,7 @@ def fig3_spec(
         **setting_to_params(setting),
         **grids(quick),
         "utilization": TOTAL_UTILIZATION,
+        "backend": backend,
     }
     cells = [
         Cell.make(CELL_FN, scheduler=scheduler, hops=h, mix=mix, **shared)

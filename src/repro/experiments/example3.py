@@ -23,6 +23,7 @@ import math
 from typing import Sequence
 
 from repro.experiments.config import (
+    DEFAULT_BACKEND,
     PaperSetting,
     grids,
     paper_setting,
@@ -51,10 +52,11 @@ def fig4_cell(
     epsilon: float,
     s_grid: int,
     gamma_grid: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict:
     """One (scheduler, U, H) point of Fig. 4 — pure and picklable."""
     setting = setting_from_params(traffic, capacity, epsilon)
-    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid}
+    grid = {"s_grid": s_grid, "gamma_grid": gamma_grid, "backend": backend}
     n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
     diagnostics: dict = {}
     if scheduler == "EDF":
@@ -109,10 +111,13 @@ def fig4_spec(
     schedulers: Sequence[str] = SCHEDULERS,
     setting: PaperSetting | None = None,
     quick: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepSpec:
     """Declare the Fig. 4 grid (one cell per (scheduler, U, H) point)."""
     setting = setting or paper_setting()
-    shared = {**setting_to_params(setting), **grids(quick)}
+    shared = {
+        **setting_to_params(setting), **grids(quick), "backend": backend
+    }
     cells = [
         Cell.make(
             CELL_FN,

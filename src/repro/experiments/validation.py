@@ -37,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.experiments.config import (
+    DEFAULT_BACKEND,
     PaperSetting,
     grids,
     paper_setting,
@@ -118,6 +119,7 @@ def validation_bound_cell(
     capacity: float,
     s_grid: int,
     gamma_grid: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict:
     """The analytic end-to-end bound of one (scheduler, H) point.
 
@@ -132,6 +134,7 @@ def validation_bound_cell(
     bound = e2e_delay_bound_mmoo(
         setting.traffic, n_half, n_half, hops, setting.capacity,
         delta, epsilon, s_grid=s_grid, gamma_grid=gamma_grid,
+        backend=backend,
     )
     return {
         "rows": [
@@ -213,6 +216,7 @@ def validation_spec(
     engine: str = "chunk",
     setting: PaperSetting | None = None,
     quick: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepSpec:
     """Declare the validation grid.
 
@@ -238,7 +242,7 @@ def validation_spec(
             cells.append(
                 Cell.make(
                     BOUND_CELL_FN, scheduler=scheduler, hops=h,
-                    **shared, **grids(quick),
+                    backend=backend, **shared, **grids(quick),
                 )
             )
             for trial, trial_seed in enumerate(trial_seeds):

@@ -35,6 +35,7 @@ from repro.network.e2e import (
     EDFBound,
     FixedPointDiagnostics,
     FixedPointError,
+    check_backend,
     e2e_delay_bound,
     e2e_delay_bound_at_gamma,
     e2e_delay_bound_edf,
@@ -68,6 +69,16 @@ from repro.network.sensitivity import (
     delay_vs_gamma,
     delay_vs_utilization,
     scheduler_gap_vs_hops,
+)
+from repro.network.vectorized import (
+    additive_delay_grid,
+    batched_sigma_for_epsilon,
+    batched_solve_exact,
+    batched_theta_for_x,
+    e2e_delay_grid,
+    optimize_gamma_additive,
+    optimize_gamma_e2e,
+    solve_exact_fast,
 )
 
 
@@ -139,4 +150,13 @@ __all__ = [
     "fit_growth_exponent",
     "h_log_h_reference",
     "is_superlinear",
+    "check_backend",
+    "additive_delay_grid",
+    "batched_sigma_for_epsilon",
+    "batched_solve_exact",
+    "batched_theta_for_x",
+    "e2e_delay_grid",
+    "optimize_gamma_additive",
+    "optimize_gamma_e2e",
+    "solve_exact_fast",
 ]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
 from repro.network.convolution import network_service_curve
-from repro.network.e2e import _max_feasible_s, sigma_for_epsilon
+from repro.network.e2e import _max_feasible_s, check_backend, sigma_for_epsilon
 from repro.network.optimization import homogeneous_hops, solve_exact
 from repro.scheduling.delta import CustomDelta
 from repro.service.leftover import leftover_service_curve
@@ -56,8 +56,17 @@ def e2e_backlog_bound_at_gamma(
     delta: float,
     epsilon: float,
     gamma: float,
+    *,
+    backend: str = "scalar",
 ) -> BacklogResult:
-    """End-to-end backlog bound for a fixed rate degradation ``gamma``."""
+    """End-to-end backlog bound for a fixed rate degradation ``gamma``.
+
+    ``backend="numpy"`` swaps the theta-optimization to the O(H log H)
+    slope sweep (:func:`repro.network.vectorized.solve_exact_fast`),
+    which returns the same ``x``/``thetas`` as :func:`solve_exact`; the
+    service-curve machinery is shared.
+    """
+    check_backend(backend)
     hops = check_int(hops, "hops", minimum=1)
     check_positive(capacity, "capacity")
     check_probability(epsilon, "epsilon")
@@ -68,8 +77,12 @@ def e2e_backlog_bound_at_gamma(
     except ValueError:
         return _INFEASIBLE
 
+    if backend == "numpy":
+        from repro.network.vectorized import solve_exact_fast as solver
+    else:
+        solver = solve_exact
     # thetas: reuse the delay-optimal point (any choice is valid)
-    solution = solve_exact(
+    solution = solver(
         homogeneous_hops(hops, capacity, gamma, cross.rate, delta), sigma
     )
     scheduler = CustomDelta({("through", "cross"): delta})
@@ -96,11 +109,14 @@ def e2e_backlog_bound(
     *,
     gamma: float | None = None,
     gamma_grid: int = 24,
+    backend: str = "numpy",
 ) -> BacklogResult:
     """End-to-end backlog bound, optimizing ``gamma`` numerically."""
+    check_backend(backend)
     if gamma is not None:
         return e2e_backlog_bound_at_gamma(
-            through, cross, hops, capacity, delta, epsilon, gamma
+            through, cross, hops, capacity, delta, epsilon, gamma,
+            backend=backend,
         )
     headroom = capacity - cross.rate - through.rate
     if headroom <= 0:
@@ -108,7 +124,8 @@ def e2e_backlog_bound(
     gamma_max = headroom / (hops + 1)
     g_best, _ = grid_then_golden(
         lambda g: e2e_backlog_bound_at_gamma(
-            through, cross, hops, capacity, delta, epsilon, g
+            through, cross, hops, capacity, delta, epsilon, g,
+            backend=backend,
         ).backlog,
         gamma_max * 1e-6,
         gamma_max * (1.0 - 1e-9),
@@ -116,7 +133,8 @@ def e2e_backlog_bound(
         log_spaced=True,
     )
     return e2e_backlog_bound_at_gamma(
-        through, cross, hops, capacity, delta, epsilon, g_best
+        through, cross, hops, capacity, delta, epsilon, g_best,
+        backend=backend,
     )
 
 
@@ -131,6 +149,7 @@ def e2e_backlog_bound_mmoo(
     *,
     s_grid: int = 16,
     gamma_grid: int = 16,
+    backend: str = "numpy",
 ) -> BacklogResult:
     """Backlog bound for MMOO aggregates, optimizing ``(s, gamma)``."""
     n_through = check_int(n_through, "n_through", minimum=1)
@@ -144,7 +163,7 @@ def e2e_backlog_bound_mmoo(
         cross = traffic.ebb(n_cross, s) if n_cross > 0 else EBB(1.0, 1e-12, s)
         return e2e_backlog_bound(
             through, cross, hops, capacity, delta, epsilon,
-            gamma_grid=gamma_grid,
+            gamma_grid=gamma_grid, backend=backend,
         )
 
     s_best, _ = grid_then_golden(

@@ -37,7 +37,7 @@ from repro.network.optimization import (
     solve_exact,
     solve_paper,
 )
-from repro.utils.numeric import grid_then_golden
+from repro.utils.numeric import bisect_increasing, grid_then_golden
 from repro.utils.validation import (
     check_int,
     check_positive,
@@ -45,6 +45,15 @@ from repro.utils.validation import (
 )
 
 Method = Literal["exact", "paper"]
+Backend = Literal["scalar", "numpy"]
+
+
+def check_backend(backend: str) -> None:
+    """Validate a ``backend`` selector (raises :class:`ValueError`)."""
+    if backend not in ("scalar", "numpy"):
+        raise ValueError(
+            f"unknown backend {backend!r}; use 'scalar' or 'numpy'"
+        )
 
 
 @dataclass(frozen=True)
@@ -223,6 +232,7 @@ def e2e_delay_bound(
     gamma: float | None = None,
     method: Method = "exact",
     gamma_grid: int = 48,
+    backend: Backend = "numpy",
 ) -> E2EResult:
     """End-to-end delay bound for EBB traffic over a homogeneous path.
 
@@ -245,7 +255,15 @@ def e2e_delay_bound(
         numerically over ``(0, (C - rho_c - rho)/(H+1))`` (Eq. (32)).
     method:
         ``"exact"`` (breakpoint enumeration) or ``"paper"`` (Eqs. 40-42).
+    backend:
+        ``"numpy"`` (default) runs the ``gamma`` search through the
+        batched kernels of :mod:`repro.network.vectorized`; ``"scalar"``
+        probes :func:`e2e_delay_bound_at_gamma` point by point.  Both
+        re-evaluate the optimum through the scalar path, so the returned
+        bounds agree to well within 1e-9 relative.  ``method="paper"``
+        always uses the scalar search.
     """
+    check_backend(backend)
     if gamma is not None:
         return e2e_delay_bound_at_gamma(
             through, cross, hops, capacity, delta, epsilon, gamma, method=method
@@ -255,6 +273,19 @@ def e2e_delay_bound(
     headroom = capacity - cross.rate - through.rate
     if headroom <= 0:
         return _INFEASIBLE
+
+    if backend == "numpy" and method == "exact":
+        from repro.network.vectorized import optimize_gamma_e2e
+
+        g_best, _ = optimize_gamma_e2e(
+            through, cross, hops, capacity, delta, epsilon,
+            gamma_grid=gamma_grid,
+        )
+        return e2e_delay_bound_at_gamma(
+            through, cross, hops, capacity, delta, epsilon, g_best,
+            method=method,
+        )
+
     gamma_max = headroom / (hops + 1)
 
     def objective(g: float) -> float:
@@ -280,17 +311,25 @@ def e2e_delay_bound(
 def _max_feasible_s(
     traffic: MMOOParameters, n_total: int, capacity: float
 ) -> float:
-    """Largest effective-bandwidth parameter keeping the load below C."""
+    """Largest effective-bandwidth parameter keeping the load below C.
+
+    The effective bandwidth is nondecreasing in ``s``, so the boundary is
+    found by :func:`repro.utils.numeric.bisect_increasing` at an explicit
+    relative tolerance (callers back off by a further ``1 - 1e-9`` factor
+    before using it as a search endpoint).
+    """
+    hi = 50.0 / traffic.peak
     if n_total * traffic.peak_rate < capacity:
-        return 50.0 / traffic.peak  # effectively unconstrained
-    lo, hi = 1e-6, 50.0 / traffic.peak
-    for _ in range(100):
-        mid = 0.5 * (lo + hi)
-        if n_total * traffic.effective_bandwidth(mid) < capacity:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+        return hi  # effectively unconstrained
+    if n_total * traffic.effective_bandwidth(hi) < capacity:
+        return hi  # capacity never reached on the search interval
+    return bisect_increasing(
+        lambda s: n_total * traffic.effective_bandwidth(s),
+        capacity,
+        1e-6,
+        hi,
+        tol=1e-12,
+    )
 
 
 def e2e_delay_bound_mmoo(
@@ -305,14 +344,17 @@ def e2e_delay_bound_mmoo(
     method: Method = "exact",
     s_grid: int = 24,
     gamma_grid: int = 24,
+    backend: Backend = "numpy",
 ) -> E2EResult:
     """End-to-end delay bound for aggregated MMOO traffic (paper Sec. V).
 
     ``n_through`` flows form the through aggregate; ``n_cross`` flows the
     per-node cross aggregate (``n_cross = 0`` means no cross traffic).
     Optimizes jointly over the effective-bandwidth parameter ``s`` (the
-    EBB decay ``alpha``) and the rate degradation ``gamma``.
+    EBB decay ``alpha``) and the rate degradation ``gamma``; with
+    ``backend="numpy"`` every inner ``gamma`` search runs batched.
     """
+    check_backend(backend)
     n_through = check_int(n_through, "n_through", minimum=1)
     n_cross = check_int(n_cross, "n_cross", minimum=0)
     check_positive(capacity, "capacity")
@@ -320,7 +362,7 @@ def e2e_delay_bound_mmoo(
         return _INFEASIBLE
     s_max = _max_feasible_s(traffic, n_through + max(n_cross, 1), capacity)
 
-    def at_s(s: float) -> E2EResult:
+    def ebb_pair(s: float) -> tuple[EBB, EBB]:
         through = traffic.ebb(n_through, s)
         if n_cross > 0:
             cross = traffic.ebb(n_cross, s)
@@ -328,6 +370,10 @@ def e2e_delay_bound_mmoo(
             # a vanishing cross aggregate: epsilon-rate placeholder so the
             # downstream formulas stay well defined
             cross = EBB(1.0, 1e-12, s)
+        return through, cross
+
+    def at_s(s: float) -> E2EResult:
+        through, cross = ebb_pair(s)
         return e2e_delay_bound(
             through,
             cross,
@@ -337,10 +383,33 @@ def e2e_delay_bound_mmoo(
             epsilon,
             method=method,
             gamma_grid=gamma_grid,
+            backend=backend,
         )
 
-    def objective(s: float) -> float:
-        return at_s(s).delay
+    if backend == "numpy" and method == "exact":
+        # delay-only objective for the s search: the batched gamma search
+        # plus one probe at its optimum — the probe mirrors the scalar
+        # evaluation, so the s trajectory matches the scalar backend's;
+        # only the final s is materialized through the scalar path
+        from repro.network.vectorized import _e2e_probe, optimize_gamma_e2e
+
+        def objective(s: float) -> float:
+            through, cross = ebb_pair(s)
+            if capacity - cross.rate - through.rate <= 0:
+                return math.inf
+            hops_int = check_int(hops, "hops", minimum=1)
+            g_best, _ = optimize_gamma_e2e(
+                through, cross, hops_int, capacity, delta, epsilon,
+                gamma_grid=gamma_grid,
+            )
+            return _e2e_probe(
+                through, cross, hops_int, capacity, delta, epsilon, g_best
+            )
+
+    else:
+
+        def objective(s: float) -> float:
+            return at_s(s).delay
 
     s_best, _ = grid_then_golden(
         objective, s_max * 1e-4, s_max * (1.0 - 1e-9),
@@ -364,6 +433,7 @@ def e2e_delay_bound_edf(
     max_iter: int = 40,
     s_grid: int = 24,
     gamma_grid: int = 24,
+    backend: Backend = "numpy",
     on_nonconvergence: Literal["warn", "raise", "ignore"] = "warn",
 ) -> EDFBound:
     """EDF bound with self-referential deadlines (paper Examples 1-3).
@@ -396,6 +466,7 @@ def e2e_delay_bound_edf(
         return e2e_delay_bound_mmoo(
             traffic, n_through, n_cross, hops, capacity, delta, epsilon,
             method=method, s_grid=s_grid, gamma_grid=gamma_grid,
+            backend=backend,
         )
 
     def done(

@@ -182,12 +182,15 @@ def solve_exact(
     def objective(x: float) -> float:
         return x + sum(theta_for_x(hop, sigma, x) for hop in hops)
 
-    breakpoints: list[float] = []
+    # sort + dedupe: hops sharing rates produce identical breakpoints, and
+    # each duplicate would cost a redundant O(H) objective evaluation
+    breakpoints: set[float] = set()
     for hop in hops:
-        breakpoints.extend(_breakpoints_for_hop(hop, sigma))
-    upper = max(breakpoints, default=0.0) + 1.0
+        breakpoints.update(_breakpoints_for_hop(hop, sigma))
+    ordered = sorted(breakpoints)
+    upper = (ordered[-1] if ordered else 0.0) + 1.0
     x_best, d_best = minimize_piecewise_linear(
-        objective, breakpoints, lower=0.0, upper=upper
+        objective, ordered, lower=0.0, upper=upper
     )
     thetas = tuple(theta_for_x(hop, sigma, x_best) for hop in hops)
     return ThetaSolution(d_best, x_best, thetas)
@@ -226,13 +229,12 @@ def solve_paper(
     n = len(hops)
     tail_sums = _paper_k(hops)
 
-    # smallest K with the Eq. (40) sum below 1
-    k_candidates = [k for k in range(n + 1) if tail_sums[k] < 1.0]
-    if not k_candidates:  # pragma: no cover - tail_sums[n] = 0 always works
-        k_candidates = [n]
-
-    best: ThetaSolution | None = None
-    for k in sorted(k_candidates):
+    # The paper takes the *smallest* K with the Eq. (40) sum below 1 whose
+    # Eq. (41) choice is valid; tail_sums[n] = 0 < 1 and K = n is always
+    # valid, so the loop returns — no best-tracking across K is needed.
+    for k in range(n + 1):
+        if tail_sums[k] >= 1.0:
+            continue
         if delta >= 0:
             if k == 0:
                 x = 0.0
@@ -259,17 +261,8 @@ def solve_paper(
                     / (hop_k.service_rate - hop_k.cross_rate),
                 )
             thetas = tuple(theta_for_x(hop, sigma, x) for hop in hops)
-        d = x + sum(thetas)
-        candidate = ThetaSolution(d, x, thetas)
-        if best is None or candidate.delay < best.delay:
-            best = candidate
-        break  # the paper takes the *smallest* such K
-    if best is None:
-        # validity condition failed for every K: fall back to the largest K
-        x = 0.0 if delta >= 0 else -delta
-        thetas = tuple(theta_for_x(hop, sigma, x) for hop in hops)
-        best = ThetaSolution(x + sum(thetas), x, thetas)
-    return best
+        return ThetaSolution(x + sum(thetas), x, thetas)
+    raise AssertionError("unreachable: K = H is always valid")  # pragma: no cover
 
 
 def bmux_delay(

@@ -115,13 +115,19 @@ def additive_pernode_delay_bound(
     *,
     gamma: float | None = None,
     gamma_grid: int = 48,
+    backend: str = "numpy",
 ) -> AdditiveResult:
     """Node-by-node additive delay bound, optimizing ``gamma`` numerically.
 
     Feasibility requires ``rho + H gamma + gamma <= C - rho_c`` for the
     last node, so ``gamma`` ranges over
-    ``(0, (C - rho_c - rho) / (H + 1))``.
+    ``(0, (C - rho_c - rho) / (H + 1))``.  ``backend="numpy"`` (default)
+    evaluates the ``gamma`` grid through one batched kernel call; the
+    optimum is re-evaluated through the scalar path either way.
     """
+    from repro.network.e2e import check_backend
+
+    check_backend(backend)
     if gamma is not None:
         return additive_pernode_delay_bound_at_gamma(
             through, cross, hops, capacity, epsilon, gamma
@@ -129,6 +135,17 @@ def additive_pernode_delay_bound(
     headroom = capacity - cross.rate - through.rate
     if headroom <= 0:
         return _INFEASIBLE
+
+    if backend == "numpy":
+        from repro.network.vectorized import optimize_gamma_additive
+
+        g_best, _ = optimize_gamma_additive(
+            through, cross, hops, capacity, epsilon, gamma_grid=gamma_grid
+        )
+        return additive_pernode_delay_bound_at_gamma(
+            through, cross, hops, capacity, epsilon, g_best
+        )
+
     gamma_max = headroom / (hops + 1)
 
     def objective(g: float) -> float:
@@ -158,6 +175,7 @@ def additive_pernode_delay_bound_mmoo(
     *,
     s_grid: int = 24,
     gamma_grid: int = 24,
+    backend: str = "numpy",
 ) -> AdditiveResult:
     """Additive baseline for MMOO aggregates, optimizing ``(s, gamma)``."""
     n_through = check_int(n_through, "n_through", minimum=1)
@@ -175,7 +193,8 @@ def additive_pernode_delay_bound_mmoo(
             traffic.ebb(n_cross, s) if n_cross > 0 else EBB(1.0, 1e-12, s)
         )
         return additive_pernode_delay_bound(
-            through, cross, hops, capacity, epsilon, gamma_grid=gamma_grid
+            through, cross, hops, capacity, epsilon,
+            gamma_grid=gamma_grid, backend=backend,
         )
 
     s_best, _ = grid_then_golden(

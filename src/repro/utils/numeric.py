@@ -91,6 +91,37 @@ def golden_section_min(
     return x2, f2
 
 
+def refine_grid_minimum(
+    func: Callable[[float], float],
+    xs: Sequence[float],
+    fs: Sequence[float],
+    *,
+    tol: float = 1e-9,
+) -> tuple[float, float]:
+    """Golden-section refinement around the argmin of a pre-evaluated grid.
+
+    ``fs[i]`` must equal ``func(xs[i])`` (up to floating-point noise when
+    the grid was evaluated by a vectorized twin of ``func``).  Picks the
+    first grid minimum, refines within its bracketing cells, and keeps the
+    grid point when refinement does not improve on it — exactly the tail
+    of :func:`grid_then_golden`, shared so the batched (numpy) grid sweeps
+    reuse the scalar refinement verbatim.
+    """
+    if len(xs) != len(fs):
+        raise ValueError("xs and fs must have equal length")
+    if not xs:
+        raise ValueError("need at least one grid point")
+    best = min(range(len(xs)), key=lambda i: fs[i])
+    if not math.isfinite(fs[best]):
+        return xs[best], fs[best]
+    lo = xs[max(0, best - 1)]
+    hi = xs[min(len(xs) - 1, best + 1)]
+    x_ref, f_ref = golden_section_min(func, lo, hi, tol=tol)
+    if f_ref <= fs[best]:
+        return x_ref, f_ref
+    return xs[best], fs[best]
+
+
 def grid_then_golden(
     func: Callable[[float], float],
     low: float,
@@ -104,7 +135,8 @@ def grid_then_golden(
 
     The grid scan makes the search robust to multiple local minima; the
     golden-section pass refines within the bracketing cells of the best grid
-    point.  ``func`` may return ``math.inf`` for infeasible points.
+    point (see :func:`refine_grid_minimum`).  ``func`` may return
+    ``math.inf`` for infeasible points.
     """
     if high < low:
         raise ValueError(f"empty bracket [{low}, {high}]")
@@ -119,15 +151,7 @@ def grid_then_golden(
         step = (high - low) / (grid_points - 1)
         xs = [low + i * step for i in range(grid_points)]
     fs = [func(x) for x in xs]
-    best = min(range(grid_points), key=lambda i: fs[i])
-    if not math.isfinite(fs[best]):
-        return xs[best], fs[best]
-    lo = xs[max(0, best - 1)]
-    hi = xs[min(grid_points - 1, best + 1)]
-    x_ref, f_ref = golden_section_min(func, lo, hi, tol=tol)
-    if f_ref <= fs[best]:
-        return x_ref, f_ref
-    return xs[best], fs[best]
+    return refine_grid_minimum(func, xs, fs, tol=tol)
 
 
 def minimize_piecewise_linear(

@@ -202,6 +202,85 @@ class TestExactSolver:
         assert all(b >= a - 1e-9 for a, b in zip(delays, delays[1:]))
 
 
+class TestPaperProcedurePinning:
+    """Pin solve_paper's smallest-valid-K semantics to the closed forms.
+
+    The solver returns at the *first* K whose Eq. (40) tail sum is below 1
+    and whose Eq. (41)/(42) choice is valid; these tests pin the resulting
+    identities so a change to the K-selection rule cannot slip through.
+    """
+
+    C, GAMMA, RHO_C, SIGMA = 100.0, 0.3, 40.0, 25.0
+
+    @pytest.mark.parametrize("hops_n", [1, 2, 5, 10, 20])
+    def test_bmux_recovers_eq43(self, hops_n):
+        # Delta = +inf: only K = H is valid, which is exactly Eq. (43)
+        params = homogeneous_hops(hops_n, self.C, self.GAMMA, self.RHO_C, math.inf)
+        sol = solve_paper(params, self.SIGMA)
+        assert sol.delay == pytest.approx(
+            bmux_delay(hops_n, self.C, self.GAMMA, self.RHO_C, self.SIGMA), rel=1e-12
+        )
+        assert feasible(params, self.SIGMA, sol)
+
+    @pytest.mark.parametrize("hops_n", [1, 2, 5, 10, 20])
+    def test_fifo_recovers_eq44(self, hops_n):
+        params = homogeneous_hops(hops_n, self.C, self.GAMMA, self.RHO_C, 0.0)
+        sol = solve_paper(params, self.SIGMA)
+        assert sol.delay == pytest.approx(
+            fifo_delay(hops_n, self.C, self.GAMMA, self.RHO_C, self.SIGMA), rel=1e-12
+        )
+        assert feasible(params, self.SIGMA, sol)
+
+    def test_picks_smallest_valid_k(self):
+        # each Eq. (40) term is (R_h - r_h)/R_h < 1, so with few hops the
+        # full tail sum is already < 1 and the smallest valid K is 0 for
+        # Delta >= 0 with all thetas above Delta -> X = 0 exactly
+        params = homogeneous_hops(1, self.C, self.GAMMA, self.RHO_C, 0.0)
+        sol = solve_paper(params, self.SIGMA)
+        assert sol.x == 0.0
+        assert sol.thetas[0] == pytest.approx(self.SIGMA / self.C)
+
+    def test_long_path_forces_positive_k(self):
+        # with enough hops the tail sum at K = 0 exceeds 1 and the solver
+        # must move to the smallest K whose tail drops below 1
+        from repro.network.optimization import _paper_k
+
+        hops_n = 20
+        params = homogeneous_hops(hops_n, self.C, self.GAMMA, self.RHO_C, 0.0)
+        tails = _paper_k(params)
+        k = next(kk for kk in range(hops_n + 1) if tails[kk] < 1.0)
+        assert k > 0
+        sol = solve_paper(params, self.SIGMA)
+        hop_k = params[k - 1]
+        assert sol.x == pytest.approx(
+            self.SIGMA / (hop_k.service_rate - hop_k.cross_rate), rel=1e-12
+        )
+        # hops up to K have theta = 0 at that X (Eq. (41))
+        assert all(th == 0.0 for th in sol.thetas[:k])
+
+    def test_negative_delta_uses_eq42(self):
+        delta = -2.5
+        # one hop: tail sum (R-r)/R < 1 at K = 0, which pins X = -Delta
+        single = homogeneous_hops(1, self.C, self.GAMMA, self.RHO_C, delta)
+        sol = solve_paper(single, self.SIGMA)
+        assert sol.x == pytest.approx(-delta)
+        assert feasible(single, self.SIGMA, sol)
+        # two hops: tail sum at K = 0 exceeds 1, so K = 1 applies the
+        # Eq. (42) max; the second term is negative here, leaving sigma/R_1
+        pair = homogeneous_hops(2, self.C, self.GAMMA, self.RHO_C, delta)
+        sol = solve_paper(pair, self.SIGMA)
+        hop_1 = pair[0]
+        assert sol.x == pytest.approx(
+            max(
+                self.SIGMA / hop_1.service_rate,
+                (self.SIGMA + hop_1.cross_rate * delta)
+                / (hop_1.service_rate - hop_1.cross_rate),
+            ),
+            rel=1e-12,
+        )
+        assert feasible(pair, self.SIGMA, sol)
+
+
 class TestHeterogeneousHops:
     def test_mixed_deltas_solved_exactly(self):
         params = [

@@ -90,11 +90,14 @@ class TestGate:
         means = {"bench_a": 1.0, "bench_b": 10.0}
         assert self.run(tmp_path, baseline, means) == 1
 
-    def test_new_benchmark_is_not_a_regression(self, tmp_path, baseline):
+    def test_unbaselined_benchmark_fails(self, tmp_path, baseline, capsys):
+        # a benchmark absent from the baseline would be ungated forever;
+        # the gate fails until the author re-baselines with --update
         means = {
             "bench_a": 1.0, "bench_b": 10.0, "bench_c": 0.1, "bench_d": 5.0,
         }
-        assert self.run(tmp_path, baseline, means) == 0
+        assert self.run(tmp_path, baseline, means) == 1
+        assert "UNBASELINED" in capsys.readouterr().out
 
     def test_tolerance_flag(self, tmp_path, baseline):
         means = {"bench_a": 1.2, "bench_b": 10.0, "bench_c": 0.1}

@@ -12,6 +12,7 @@ from repro.utils.numeric import (
     grid_then_golden,
     logspace,
     minimize_piecewise_linear,
+    refine_grid_minimum,
     weighted_union_bound_constant,
 )
 
@@ -73,6 +74,46 @@ class TestGridThenGolden:
             grid_then_golden(lambda x: x, 0.0, 1.0, grid_points=2)
         with pytest.raises(ValueError):
             grid_then_golden(lambda x: x, 0.0, 1.0, log_spaced=True)
+
+
+class TestRefineGridMinimum:
+    def test_refines_within_bracketing_cells(self):
+        f = lambda x: (x - 2.6) ** 2
+        xs = [0.0, 1.0, 2.0, 3.0, 4.0]
+        x, fx = refine_grid_minimum(f, xs, [f(x) for x in xs])
+        assert x == pytest.approx(2.6, abs=1e-6)
+        assert fx == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_grid_then_golden_tail(self):
+        f = lambda x: min((x - 1.0) ** 2 + 0.5, (x - 8.0) ** 2)
+        xs = [10.0 * i / 40.0 for i in range(41)]
+        expected = grid_then_golden(f, 0.0, 10.0, grid_points=41)
+        assert refine_grid_minimum(f, xs, [f(x) for x in xs]) == expected
+
+    def test_nonfinite_best_returned_unrefined(self):
+        # an all-infeasible grid must pass inf through, not call golden
+        xs = [1.0, 2.0, 3.0]
+        x, fx = refine_grid_minimum(lambda x: math.inf, xs, [math.inf] * 3)
+        assert x == 1.0
+        assert math.isinf(fx)
+
+    def test_keeps_grid_point_when_refinement_no_better(self):
+        # fs deliberately below func: refinement cannot improve on fs[best]
+        xs = [0.0, 1.0, 2.0]
+        x, fx = refine_grid_minimum(lambda x: 5.0, xs, [3.0, 1.0, 3.0])
+        assert (x, fx) == (1.0, 1.0)
+
+    def test_boundary_minimum_brackets_one_sided(self):
+        f = lambda x: x
+        xs = [0.0, 1.0, 2.0]
+        x, fx = refine_grid_minimum(f, xs, [f(x) for x in xs])
+        assert x == pytest.approx(0.0, abs=1e-6)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            refine_grid_minimum(lambda x: x, [1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            refine_grid_minimum(lambda x: x, [], [])
 
 
 class TestMinimizePiecewiseLinear:
