@@ -150,6 +150,15 @@ def main(argv: list[str] | None = None) -> int:
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) failed the gate: "
               + ", ".join(regressions), file=sys.stderr)
+        unbaselined = sorted(set(current) - set(baseline))
+        if unbaselined:
+            print(
+                f"{len(unbaselined)} benchmark(s) have no baseline row "
+                f"({', '.join(unbaselined)}); regenerate the baseline with:\n"
+                "  pytest benchmarks/ --benchmark-json=BENCH_PR.json && "
+                "python benchmarks/check_regression.py BENCH_PR.json --update",
+                file=sys.stderr,
+            )
         return 1
     print("\nno regressions")
     return 0

@@ -1,0 +1,118 @@
+"""Overhead gate for the observability layer (``repro.obs``).
+
+Tracing is default-off, and the instrumented call sites are supposed to
+cost nothing measurable in that state: every site either asks
+``obs.enabled()`` and bails, or enters the shared no-op span.  This
+test asserts that contract on a representative Fig. 2 cell: the summed
+cost of all obs calls the cell makes (call count x measured per-call
+cost of the disabled fast path) must stay under 2% of the cell's
+runtime.
+
+Deliberately *not* a pytest-benchmark fixture: the estimate is
+deterministic (a call count times a microbenchmarked constant), so it
+needs no baseline row in ``BENCH_BASELINE.json`` and never trips the
+UNBASELINED gate.  Comparing two wall-clock runs of the same cell would
+measure scheduler noise, not the instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.experiments.config import grids, paper_setting, setting_to_params
+from repro.experiments.example1 import fig2_cell
+
+#: A mid-grid Fig. 2 point (FIFO, H=5, U=50%) at the quick fidelity —
+#: the same cell shape the figure benchmarks time.
+CELL_KWARGS = {
+    "scheduler": "FIFO",
+    "hops": 5,
+    "utilization": 0.5,
+    "n_through": 100,
+    **setting_to_params(paper_setting()),
+    **grids(True),
+}
+
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def run_cell() -> None:
+    fig2_cell(**CELL_KWARGS)
+
+
+def time_cell(repeats: int = 3) -> float:
+    """Best-of-N wall clock of the untraced cell."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_cell()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def count_obs_calls() -> dict[str, int]:
+    """How many obs calls one cell makes, via module-attribute patching.
+
+    Call sites access ``obs.<fn>`` on every call (never from-imports),
+    exactly so the layer can be audited like this.
+    """
+    counts = {"enabled": 0, "trace": 0}
+    real_enabled, real_trace = obs.enabled, obs.trace
+
+    def counting_enabled():
+        counts["enabled"] += 1
+        return real_enabled()
+
+    def counting_trace(name):
+        counts["trace"] += 1
+        return real_trace(name)
+
+    obs.enabled, obs.trace = counting_enabled, counting_trace
+    try:
+        run_cell()
+    finally:
+        obs.enabled, obs.trace = real_enabled, real_trace
+    return counts
+
+
+def per_call_costs(iterations: int = 200_000) -> dict[str, float]:
+    """Measured seconds per disabled-path ``obs.enabled()`` / no-op span."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        obs.enabled()
+    enabled_cost = (time.perf_counter() - start) / iterations
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.trace("bench"):
+            pass
+    trace_cost = (time.perf_counter() - start) / iterations
+    return {"enabled": enabled_cost, "trace": trace_cost}
+
+
+def test_disabled_tracing_overhead_is_under_two_percent():
+    assert not obs.enabled(), "tracing must be off for this benchmark"
+    run_cell()  # warm caches before timing
+
+    cell_seconds = time_cell()
+    counts = count_obs_calls()
+    costs = per_call_costs()
+
+    overhead = sum(counts[kind] * costs[kind] for kind in counts)
+    fraction = overhead / cell_seconds
+    print(
+        f"\ncell: {cell_seconds * 1e3:.1f} ms; obs calls: {counts}; "
+        f"per-call: enabled {costs['enabled'] * 1e9:.0f} ns, "
+        f"trace {costs['trace'] * 1e9:.0f} ns; "
+        f"overhead {overhead * 1e6:.1f} us ({fraction:.4%})"
+    )
+    assert counts["enabled"] > 0, "cell exercised no instrumented sites?"
+    assert fraction < MAX_OVERHEAD_FRACTION
+
+
+def test_disabled_cell_records_nothing():
+    run_cell()
+    snap = obs.snapshot()
+    assert snap["counters"] == {}
+    assert snap["spans"] == {}

@@ -16,6 +16,12 @@ content-keyed cell cache under ``--cache-dir`` (default
 (``--no-cache`` disables it).  The series print as a table; ``--csv``
 writes the rows and ``--json`` writes a structured artifact with the
 full grid metadata, per-cell wall-clock, and diagnostics.
+
+``--trace`` turns on the structured observability layer
+(:mod:`repro.obs`) for the run: hierarchical span timers, optimizer and
+cache counters, and per-cell runtime/queue-wait series are collected —
+including inside pool workers, whose snapshots are merged after the
+join — and embedded in the JSON artifact under ``"metrics"``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.experiments.cache import DEFAULT_CACHE_DIR, CellCache
 from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
 from repro.experiments.example1 import fig2_spec
@@ -72,6 +79,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="recompute every cell, bypassing the on-disk cell cache",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect structured metrics (span timers, optimizer/cache "
+        "counters, per-cell runtimes) and embed the tree in the JSON "
+        "artifact under 'metrics'",
     )
     parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -172,11 +185,23 @@ def _build_spec(args: argparse.Namespace):
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace:
+        obs.reset()
+        obs.enable()
+    try:
+        return _run(args)
+    finally:
+        if args.trace:
+            obs.disable()
+
+
+def _run(args) -> int:
     executor = make_executor(args.jobs)
     cache = None if args.no_cache else CellCache(args.cache_dir)
 
     spec = _build_spec(args)
-    result = run_sweep(spec, executor=executor, cache=cache)
+    with obs.trace(f"cli.{args.command}"):
+        result = run_sweep(spec, executor=executor, cache=cache)
 
     if args.command == "validation":
         validation_rows = rows_to_validation(result.rows)
@@ -200,19 +225,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         with open(args.csv, "w") as handle:
             handle.write(csv_text)
         print(f"wrote {args.csv}")
+    if args.trace:
+        registry = obs.active()
+        hits = registry.counter("cache.hits")
+        misses = registry.counter("cache.misses")
+        print(
+            f"[trace] cache hits={hits:.0f} misses={misses:.0f}, "
+            f"edf fixed-point iterations="
+            f"{registry.counter('e2e.edf_iterations'):.0f}"
+        )
     if args.json:
         meta = {
             "command": args.command,
             "jobs": args.jobs,
             "full": args.full,
             "backend": args.backend,
+            "trace": args.trace,
         }
         if args.command == "validation":
             meta["seed"] = args.seed
             meta["trials"] = args.trials
             meta["engine"] = args.engine
             meta["summary"] = validation_summary(validation_rows)
-        write_json_artifact(args.json, result.to_artifact(meta=meta))
+        artifact = result.to_artifact(meta=meta)
+        if args.trace:
+            artifact["metrics"] = obs.snapshot()
+        write_json_artifact(args.json, artifact)
         print(f"wrote {args.json}")
     return rc
 

@@ -20,6 +20,8 @@ import os
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import obs
+
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -45,11 +47,14 @@ class CellCache:
             with open(path, "r") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
+            obs.add("cache.misses")
             return None
         if not isinstance(payload, dict) or not isinstance(
             payload.get("rows"), list
         ):
+            obs.add("cache.misses")
             return None
+        obs.add("cache.hits")
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
@@ -61,6 +66,7 @@ class CellCache:
             with open(tmp, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, path)
+            obs.add("cache.puts")
         except OSError:
             pass  # a read-only or full disk must not fail the sweep
 

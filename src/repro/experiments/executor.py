@@ -18,6 +18,8 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, Sequence, TypeVar
 
+from repro import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -28,6 +30,10 @@ class SerialExecutor:
     jobs = 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if obs.enabled():
+            obs.add("executor.batches")
+            obs.add("executor.items", len(items))
+            obs.set_gauge("executor.jobs", 1)
         return [fn(item) for item in items]
 
     def __repr__(self) -> str:
@@ -53,12 +59,17 @@ class ParallelExecutor:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         items = list(items)
+        if obs.enabled():
+            obs.add("executor.batches")
+            obs.add("executor.items", len(items))
+            obs.set_gauge("executor.jobs", self.jobs)
         if self.jobs == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         context = multiprocessing.get_context(self.start_method)
         workers = min(self.jobs, len(items))
         with context.Pool(processes=workers) as pool:
-            return pool.map(fn, items, chunksize=1)
+            with obs.trace("executor.pool_map"):
+                return pool.map(fn, items, chunksize=1)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"

@@ -31,10 +31,12 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro import obs
 from repro.experiments.cache import CellCache
 from repro.experiments.executor import SerialExecutor
 from repro.experiments.runner import ExperimentRow
@@ -125,6 +127,32 @@ def execute_cell(cell: Cell) -> dict[str, Any]:
     return payload
 
 
+def execute_cell_traced(item: tuple[Cell, float]) -> dict[str, Any]:
+    """:func:`execute_cell` with a per-cell metrics snapshot attached.
+
+    ``item`` is ``(cell, submitted_at)`` where ``submitted_at`` is the
+    parent's ``time.time()`` at fan-out, so the cell's queue wait (time
+    spent before a worker picked it up) can be measured across process
+    boundaries without a shared clock source beyond the wall clock.
+
+    The cell runs against a fresh scoped registry — in a pool worker the
+    process registry is disabled, and under the serial executor this
+    keeps the cell's metrics separable from the parent's — and the
+    registry's snapshot is embedded in the payload as ``"metrics"``.
+    The parent merges these snapshots after the executor joins.
+    """
+    cell, submitted_at = item
+    started_at = time.time()
+    with obs.scoped(enabled=True) as registry:
+        payload = execute_cell(cell)
+        registry.set_gauge(
+            "cell.queue_wait_s", max(0.0, started_at - submitted_at)
+        )
+        registry.set_gauge("cell.worker_pid", os.getpid())
+        payload["metrics"] = registry.snapshot()
+    return payload
+
+
 def probe_cell(**params: Any) -> dict[str, Any]:
     """A trivial cell used by the test suite to observe executions.
 
@@ -186,7 +214,14 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one cell: its rows, diagnostics, and provenance."""
+    """Outcome of one cell: its rows, diagnostics, and provenance.
+
+    ``metrics`` is the cell's own observability snapshot (see
+    :mod:`repro.obs`) when the sweep ran with tracing enabled — for
+    cached cells it is whatever snapshot the original traced run stored,
+    which makes it provenance like ``wall_time_s``, not a record of this
+    run.  ``None`` when the cell was computed untraced.
+    """
 
     cell: Cell
     key: str
@@ -194,6 +229,7 @@ class CellResult:
     diagnostics: Mapping[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
     cached: bool = False
+    metrics: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -264,6 +300,11 @@ class SweepResult:
                     "wall_time_s": cell.wall_time_s,
                     "diagnostics": dict(cell.diagnostics),
                     "rows": [dict(row) for row in cell.rows],
+                    **(
+                        {"metrics": dict(cell.metrics)}
+                        if cell.metrics is not None
+                        else {}
+                    ),
                 }
                 for cell in self.cells
             ],
@@ -282,28 +323,46 @@ def run_sweep(
     the misses go through ``executor`` (serial by default) in one
     batch, and their payloads are written back.  Results always come
     back in grid order, so executor choice cannot change the rows.
+
+    When the active :mod:`repro.obs` registry is enabled, misses run
+    through :func:`execute_cell_traced`: every computed cell's metrics
+    snapshot is embedded in its payload (and thus the artifact and the
+    cache entry) and merged into the sweep-level registry, together with
+    per-cell wall-time / queue-wait series and a per-worker cell count.
     """
     executor = executor or SerialExecutor()
     keys = spec.keys()
     payloads: list[dict[str, Any] | None] = [None] * len(spec.cells)
     cached = [False] * len(spec.cells)
 
-    if cache is not None:
-        for index, key in enumerate(keys):
-            hit = cache.get(key)
-            if hit is not None:
-                payloads[index] = hit
-                cached[index] = True
+    with obs.trace(f"sweep.{spec.name}"):
+        if cache is not None:
+            with obs.trace("sweep.cache_lookup"):
+                for index, key in enumerate(keys):
+                    hit = cache.get(key)
+                    if hit is not None:
+                        payloads[index] = hit
+                        cached[index] = True
 
-    missing = [i for i, payload in enumerate(payloads) if payload is None]
-    if missing:
-        computed = executor.map(
-            execute_cell, [spec.cells[i] for i in missing]
-        )
-        for index, payload in zip(missing, computed):
-            payloads[index] = payload
-            if cache is not None:
-                cache.put(keys[index], payload)
+        missing = [i for i, payload in enumerate(payloads) if payload is None]
+        traced = obs.enabled()
+        if missing:
+            if traced:
+                submitted_at = time.time()
+                computed = executor.map(
+                    execute_cell_traced,
+                    [(spec.cells[i], submitted_at) for i in missing],
+                )
+            else:
+                computed = executor.map(
+                    execute_cell, [spec.cells[i] for i in missing]
+                )
+            for index, payload in zip(missing, computed):
+                payloads[index] = payload
+                if traced:
+                    _merge_cell_metrics(payload)
+                if cache is not None:
+                    cache.put(keys[index], payload)
 
     results = tuple(
         CellResult(
@@ -313,7 +372,24 @@ def run_sweep(
             diagnostics=payload.get("diagnostics", {}),
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             cached=cached[index],
+            metrics=payload.get("metrics"),
         )
         for index, payload in enumerate(payloads)
     )
     return SweepResult(spec=spec, cells=results)
+
+
+def _merge_cell_metrics(payload: Mapping[str, Any]) -> None:
+    """Fold one computed cell's snapshot into the sweep-level registry."""
+    snap = payload.get("metrics")
+    if not isinstance(snap, Mapping):
+        return
+    obs.merge(snap)
+    obs.observe("sweep.cell_wall_time_s", float(payload.get("wall_time_s", 0.0)))
+    gauges = snap.get("gauges", {})
+    queue_wait = gauges.get("cell.queue_wait_s")
+    if queue_wait is not None:
+        obs.observe("sweep.cell_queue_wait_s", float(queue_wait))
+    pid = gauges.get("cell.worker_pid")
+    if pid is not None:
+        obs.add(f"sweep.worker.{int(pid)}.cells")

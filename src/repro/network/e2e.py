@@ -27,6 +27,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Iterator, Literal, Sequence
 
+from repro import obs
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
 from repro.arrivals.statistical import ExponentialBound, combine_bounds
@@ -360,6 +361,30 @@ def e2e_delay_bound_mmoo(
     check_positive(capacity, "capacity")
     if (n_through + n_cross) * traffic.mean_rate >= capacity:
         return _INFEASIBLE
+    with obs.trace("e2e.mmoo_bound"):
+        return _e2e_delay_bound_mmoo_feasible(
+            traffic, n_through, n_cross, hops, capacity, delta, epsilon,
+            method=method, s_grid=s_grid, gamma_grid=gamma_grid,
+            backend=backend,
+        )
+
+
+def _e2e_delay_bound_mmoo_feasible(
+    traffic: MMOOParameters,
+    n_through: int,
+    n_cross: int,
+    hops: int,
+    capacity: float,
+    delta: float,
+    epsilon: float,
+    *,
+    method: Method,
+    s_grid: int,
+    gamma_grid: int,
+    backend: Backend,
+) -> E2EResult:
+    """The (s, gamma) search of :func:`e2e_delay_bound_mmoo` after the
+    argument checks and the load feasibility gate have passed."""
     s_max = _max_feasible_s(traffic, n_through + max(n_cross, 1), capacity)
 
     def ebb_pair(s: float) -> tuple[EBB, EBB]:
@@ -485,23 +510,28 @@ def e2e_delay_bound_edf(
         )
 
     weight_gap = deadline_weight_through - deadline_weight_cross
-    current = bound_at(0.0)  # FIFO start
-    if not current.feasible:
-        return done(current, 0.0, 0, 0.0, True)
-    delta = weight_gap * current.delay / hops
-    residual = math.inf
-    for iteration in range(1, max_iter + 1):
-        result = bound_at(delta)
-        if not result.feasible:
-            # an infinite bound cannot move: the iteration is at rest
-            return done(result, delta, iteration, 0.0, True)
-        new_delta = weight_gap * result.delay / hops
-        step = abs(new_delta - delta)
-        scale = max(1.0, abs(delta))
-        residual = step / scale
-        if step <= tol * scale:
-            return done(result, new_delta, iteration, residual, True)
-        delta = 0.5 * (delta + new_delta)  # damping
+    with obs.trace("e2e.edf_fixed_point"):
+        current = bound_at(0.0)  # FIFO start
+        if not current.feasible:
+            return done(current, 0.0, 0, 0.0, True)
+        delta = weight_gap * current.delay / hops
+        residual = math.inf
+        for iteration in range(1, max_iter + 1):
+            result = bound_at(delta)
+            if obs.enabled():
+                obs.add("e2e.edf_iterations")
+            if not result.feasible:
+                # an infinite bound cannot move: the iteration is at rest
+                return done(result, delta, iteration, 0.0, True)
+            new_delta = weight_gap * result.delay / hops
+            step = abs(new_delta - delta)
+            scale = max(1.0, abs(delta))
+            residual = step / scale
+            if obs.enabled():
+                obs.observe("e2e.edf_residual", residual)
+            if step <= tol * scale:
+                return done(result, new_delta, iteration, residual, True)
+            delta = 0.5 * (delta + new_delta)  # damping
     message = (
         f"EDF deadline fixed point did not converge in {max_iter} "
         f"iterations: relative residual {residual:.3g} > tol {tol:g}"

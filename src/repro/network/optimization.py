@@ -38,6 +38,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.utils.numeric import minimize_piecewise_linear
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -188,6 +189,9 @@ def solve_exact(
     for hop in hops:
         breakpoints.update(_breakpoints_for_hop(hop, sigma))
     ordered = sorted(breakpoints)
+    if obs.enabled():
+        obs.add("optimization.solve_exact_calls")
+        obs.add("optimization.solve_exact_breakpoints", len(ordered))
     upper = (ordered[-1] if ordered else 0.0) + 1.0
     x_best, d_best = minimize_piecewise_linear(
         objective, ordered, lower=0.0, upper=upper
@@ -225,6 +229,8 @@ def solve_paper(
     deltas = {hop.delta for hop in hops}
     if len(deltas) != 1:
         raise ValueError("solve_paper requires a single Delta across hops")
+    if obs.enabled():
+        obs.add("optimization.solve_paper_calls")
     delta = deltas.pop()
     n = len(hops)
     tail_sums = _paper_k(hops)

@@ -48,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.arrivals.ebb import EBB
 from repro.network.optimization import (
     _EPS,
@@ -276,6 +277,11 @@ def batched_solve_exact(service_rates, cross_rates, deltas, sigmas):
         bad = saturated.any(axis=1) | ~np.isfinite(sig) | (sig < 0.0)
         delay = np.where(bad, np.inf, delay)
 
+    if obs.enabled():
+        obs.add("vectorized.solve_batches")
+        obs.add("vectorized.solve_lanes", lanes)
+        obs.add("vectorized.solve_saturated_lanes", int(bad.sum()))
+        obs.set_gauge("vectorized.solve_batch_shape", list(shape))
     return (
         delay.reshape(shape[:-1]),
         x_best.reshape(shape[:-1]),
@@ -727,6 +733,9 @@ def e2e_delay_grid(
             r_cross = (cross.rate + g)[..., None]
             delays, _, _ = batched_solve_exact(r_svc, r_cross, delta, sigma)
         delays = np.where(feasible & np.isfinite(sigma), delays, np.inf)
+    if obs.enabled():
+        obs.add("vectorized.grid_points", int(g.size))
+        obs.add("vectorized.grid_infeasible", int(np.isinf(delays).sum()))
     return delays
 
 
@@ -798,18 +807,21 @@ def optimize_gamma_e2e(
     """
     from repro.utils.numeric import refine_grid_minimum
 
-    headroom = capacity - cross.rate - through.rate
-    gamma_max = headroom / (hops + 1)
-    xs = _log_grid(gamma_max * 1e-6, gamma_max * (1.0 - 1e-9), gamma_grid)
-    fs = e2e_delay_grid(
-        through, cross, hops, capacity, delta, epsilon, np.asarray(xs)
-    )
-    return refine_grid_minimum(
-        lambda g: _e2e_probe(through, cross, hops, capacity, delta, epsilon, g),
-        xs,
-        fs.tolist(),
-        tol=tol,
-    )
+    with obs.trace("vectorized.optimize_gamma_e2e"):
+        headroom = capacity - cross.rate - through.rate
+        gamma_max = headroom / (hops + 1)
+        xs = _log_grid(gamma_max * 1e-6, gamma_max * (1.0 - 1e-9), gamma_grid)
+        fs = e2e_delay_grid(
+            through, cross, hops, capacity, delta, epsilon, np.asarray(xs)
+        )
+        return refine_grid_minimum(
+            lambda g: _e2e_probe(
+                through, cross, hops, capacity, delta, epsilon, g
+            ),
+            xs,
+            fs.tolist(),
+            tol=tol,
+        )
 
 
 def _log_grid(low: float, high: float, points: int) -> list[float]:
@@ -950,15 +962,18 @@ def optimize_gamma_additive(
     """
     from repro.utils.numeric import refine_grid_minimum
 
-    headroom = capacity - cross.rate - through.rate
-    gamma_max = headroom / (hops + 1)
-    xs = _log_grid(gamma_max * 1e-6, gamma_max * (1.0 - 1e-9), gamma_grid)
-    fs = additive_delay_grid(
-        through, cross, hops, capacity, epsilon, np.asarray(xs)
-    )
-    return refine_grid_minimum(
-        lambda g: _additive_probe(through, cross, hops, capacity, epsilon, g),
-        xs,
-        fs.tolist(),
-        tol=tol,
-    )
+    with obs.trace("vectorized.optimize_gamma_additive"):
+        headroom = capacity - cross.rate - through.rate
+        gamma_max = headroom / (hops + 1)
+        xs = _log_grid(gamma_max * 1e-6, gamma_max * (1.0 - 1e-9), gamma_grid)
+        fs = additive_delay_grid(
+            through, cross, hops, capacity, epsilon, np.asarray(xs)
+        )
+        return refine_grid_minimum(
+            lambda g: _additive_probe(
+                through, cross, hops, capacity, epsilon, g
+            ),
+            xs,
+            fs.tolist(),
+            tol=tol,
+        )

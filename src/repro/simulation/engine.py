@@ -8,11 +8,13 @@ the measured through-traffic delay distribution — one call per
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Literal, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.arrivals.mmoo import MMOOParameters
 from repro.arrivals.processes import mmoo_aggregate_arrivals
 from repro.simulation.network import TandemNetwork, TandemResult
@@ -153,37 +155,51 @@ def simulate_tandem_mmoo(config: SimulationConfig) -> TandemResult:
     initial states.  Both engines consume the same sampled arrival
     arrays, so for a given seed they simulate the same sample path.
     """
-    rng = np.random.default_rng(config.seed)
-    through = mmoo_aggregate_arrivals(
-        config.traffic, config.n_through, config.slots, rng
-    )
-    cross_rows = []
-    for _ in range(config.hops):
-        if config.n_cross > 0:
-            cross_rows.append(
-                mmoo_aggregate_arrivals(
-                    config.traffic, config.n_cross, config.slots, rng
+    with obs.trace("simulation.sample_arrivals"):
+        rng = np.random.default_rng(config.seed)
+        through = mmoo_aggregate_arrivals(
+            config.traffic, config.n_through, config.slots, rng
+        )
+        cross_rows = []
+        for _ in range(config.hops):
+            if config.n_cross > 0:
+                cross_rows.append(
+                    mmoo_aggregate_arrivals(
+                        config.traffic, config.n_cross, config.slots, rng
+                    )
                 )
+            else:
+                cross_rows.append(np.zeros(config.slots))
+    start = time.perf_counter()
+    with obs.trace(f"simulation.run.{config.engine}"):
+        if config.engine == "vectorized":
+            result = run_tandem_vectorized(
+                through,
+                cross_rows,
+                capacity=config.capacity,
+                scheduler=config.scheduler,
+                edf_deadline_through=config.edf_deadline_through,
+                edf_deadline_cross=config.edf_deadline_cross,
             )
         else:
-            cross_rows.append(np.zeros(config.slots))
-    if config.engine == "vectorized":
-        return run_tandem_vectorized(
-            through,
-            cross_rows,
-            capacity=config.capacity,
-            scheduler=config.scheduler,
-            edf_deadline_through=config.edf_deadline_through,
-            edf_deadline_cross=config.edf_deadline_cross,
-        )
-    network = TandemNetwork(
-        config.capacity,
-        config.hops,
-        _policy_factory(config),
-        preemptive=config.preemptive,
-        packet_size=config.packet_size,
-    )
-    return network.run(through, cross_rows)
+            network = TandemNetwork(
+                config.capacity,
+                config.hops,
+                _policy_factory(config),
+                preemptive=config.preemptive,
+                packet_size=config.packet_size,
+            )
+            result = network.run(through, cross_rows)
+    if obs.enabled():
+        elapsed = time.perf_counter() - start
+        obs.add(f"simulation.{config.engine}.runs")
+        obs.add(f"simulation.{config.engine}.slots", config.slots)
+        if elapsed > 0.0:
+            obs.observe(
+                f"simulation.{config.engine}.slots_per_s",
+                config.slots / elapsed,
+            )
+    return result
 
 
 def spawn_trial_seeds(root_seed: int, n_trials: int) -> tuple[int, ...]:

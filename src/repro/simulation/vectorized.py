@@ -33,6 +33,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.simulation.metrics import BacklogRecorder, DelayRecorder
 from repro.simulation.network import TandemResult
 
@@ -351,6 +352,10 @@ def run_tandem_vectorized(
         d_through = _check_edf_deadline(edf_deadline_through, "edf_deadline_through")
         d_cross = _check_edf_deadline(edf_deadline_cross, "edf_deadline_cross")
 
+    if obs.enabled():
+        obs.add("simulation.vectorized.calls")
+        obs.add(f"simulation.vectorized.{scheduler}_calls")
+        obs.add("simulation.vectorized.hop_slots", hops * n_slots)
     cross_recorders = []
     backlog_recorders = []
     node_input = through

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
+
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0  # ~0.618
 
 
@@ -44,14 +46,19 @@ def bisect_increasing(
             f"target {target} not reached on [{low}, {high}]: "
             f"f(high) = {f_high}"
         )
+    steps = 0
     for _ in range(max_iter):
         mid = 0.5 * (low + high)
         if high - low <= tol * max(1.0, abs(mid)):
             break
+        steps += 1
         if func(mid) >= target:
             high = mid
         else:
             low = mid
+    if obs.enabled():
+        obs.add("numeric.bisect_calls")
+        obs.add("numeric.bisect_steps", steps)
     return high
 
 
@@ -75,9 +82,11 @@ def golden_section_min(
     x1 = b - _GOLDEN * (b - a)
     x2 = a + _GOLDEN * (b - a)
     f1, f2 = func(x1), func(x2)
+    iterations = 0
     for _ in range(max_iter):
         if b - a <= tol * max(1.0, abs(a) + abs(b)):
             break
+        iterations += 1
         if f1 <= f2:
             b, x2, f2 = x2, x1, f1
             x1 = b - _GOLDEN * (b - a)
@@ -86,6 +95,9 @@ def golden_section_min(
             a, x1, f1 = x1, x2, f2
             x2 = a + _GOLDEN * (b - a)
             f2 = func(x2)
+    if obs.enabled():
+        obs.add("numeric.golden_calls")
+        obs.add("numeric.golden_iterations", iterations)
     if f1 <= f2:
         return x1, f1
     return x2, f2
@@ -111,6 +123,8 @@ def refine_grid_minimum(
         raise ValueError("xs and fs must have equal length")
     if not xs:
         raise ValueError("need at least one grid point")
+    if obs.enabled():
+        obs.add("numeric.refine_calls")
     best = min(range(len(xs)), key=lambda i: fs[i])
     if not math.isfinite(fs[best]):
         return xs[best], fs[best]
@@ -151,6 +165,8 @@ def grid_then_golden(
         step = (high - low) / (grid_points - 1)
         xs = [low + i * step for i in range(grid_points)]
     fs = [func(x) for x in xs]
+    if obs.enabled():
+        obs.add("numeric.grid_evals", len(xs))
     return refine_grid_minimum(func, xs, fs, tol=tol)
 
 

@@ -1,0 +1,215 @@
+"""Property-based tests for the min-plus algebra (Hypothesis).
+
+The example-based suites in this package pin known values; these tests
+pin the *laws* the analysis relies on, over randomly generated
+piecewise-linear curves:
+
+* min-plus convolution is commutative, associative, and monotone;
+* deconvolution is the adjoint of convolution (the duality
+  ``f <= (f (/) g) (*) g`` and ``(f (*) g) (/) g <= f``);
+* Theorem 1's leftover service curve is monotone (antitone) in the
+  cross-traffic envelope.
+
+All examples are derandomized via the profiles in ``tests/conftest.py``,
+so failures reproduce deterministically in CI.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.algebra.functions import PiecewiseLinear  # noqa: E402
+from repro.algebra.minplus import (  # noqa: E402
+    convolve,
+    deconvolve_numeric,
+    pointwise_min,
+)
+from repro.arrivals.envelopes import DeterministicEnvelope  # noqa: E402
+from repro.scheduling.delta import FIFO  # noqa: E402
+from repro.service.leftover import deterministic_leftover_service  # noqa: E402
+
+# absolute + relative comparison slack: the algebra is exact up to
+# floating point, so anything tighter than ~1e-9 only tests the libm
+ATOL = 1e-9
+RTOL = 1e-9
+
+
+def leq(a: float, b: float) -> bool:
+    """``a <= b`` up to the comparison slack."""
+    return a <= b + ATOL + RTOL * max(abs(a), abs(b))
+
+
+def close(a: float, b: float) -> bool:
+    return abs(a - b) <= ATOL + RTOL * max(abs(a), abs(b))
+
+
+@st.composite
+def curves(draw, max_breakpoints: int = 3) -> PiecewiseLinear:
+    """Nondecreasing finite curves with a handful of breakpoints."""
+    n = draw(st.integers(min_value=0, max_value=max_breakpoints))
+    gaps = draw(
+        st.lists(st.floats(0.25, 3.0), min_size=n, max_size=n)
+    )
+    xs = [0.0]
+    for gap in gaps:
+        xs.append(xs[-1] + gap)
+    rises = draw(st.lists(st.floats(0.0, 4.0), min_size=n, max_size=n))
+    ys = [draw(st.floats(0.0, 5.0))]
+    for rise in rises:
+        ys.append(ys[-1] + rise)
+    final_slope = draw(st.floats(0.0, 4.0))
+    return PiecewiseLinear(tuple(xs), tuple(ys), final_slope)
+
+
+def sample_points(*fs: PiecewiseLinear) -> list[float]:
+    """Evaluation points covering every breakpoint region and the tails."""
+    points = {0.0, 0.1, 1.0, 7.5, 25.0}
+    for f in fs:
+        for x in f.xs:
+            points.update((x, x + 0.05, 2.0 * x + 0.3))
+    return sorted(points)
+
+
+class TestConvolutionLaws:
+    @given(curves(), curves())
+    def test_commutative(self, f, g):
+        fg = convolve(f, g)
+        gf = convolve(g, f)
+        for t in sample_points(f, g):
+            assert close(fg(t), gf(t))
+
+    @given(curves(), curves(), curves())
+    def test_associative(self, f, g, h):
+        left = convolve(convolve(f, g), h)
+        right = convolve(f, convolve(g, h))
+        for t in sample_points(f, g, h):
+            assert close(left(t), right(t))
+
+    @given(curves(), curves(), curves())
+    def test_monotone(self, f1, f2, g):
+        # min(f1, f2) <= f_i pointwise, so its convolution with g must
+        # stay below both convolutions
+        lower = convolve(pointwise_min(f1, f2), g)
+        c1 = convolve(f1, g)
+        c2 = convolve(f2, g)
+        for t in sample_points(f1, f2, g):
+            assert leq(lower(t), min(c1(t), c2(t)))
+
+    @given(curves(), curves())
+    def test_dominated_by_operands_plus_origin(self, f, g):
+        # taking s = t (resp. s = 0) in the infimum:
+        # (f*g)(t) <= f(t) + g(0) and <= g(t) + f(0)
+        fg = convolve(f, g)
+        for t in sample_points(f, g):
+            assert leq(fg(t), f(t) + g(0.0))
+            assert leq(fg(t), g(t) + f(0.0))
+
+    @given(curves())
+    def test_zero_delay_is_neutral_up_to_origin_value(self, f):
+        delta0 = PiecewiseLinear.delay(0.0)
+        fg = convolve(f, delta0)
+        for t in sample_points(f):
+            assert close(fg(t), f(t))
+
+
+class TestDeconvolutionDuality:
+    @staticmethod
+    def compatible(f, g):
+        """Clamp ``g`` so the deconvolution ``f (/) g`` stays finite."""
+        if f.final_slope > g.final_slope:
+            g = PiecewiseLinear(
+                g.xs, g.ys, f.final_slope, cutoff=g.cutoff
+            )
+        return g
+
+    @given(curves(), curves())
+    def test_deconvolve_then_convolve_dominates(self, f, g):
+        # f (/) g is the smallest h with f <= h (*) g; pointwise this
+        # reads f(t + u) <= h(t) + g(u) for all t, u >= 0
+        g = self.compatible(f, g)
+        h = deconvolve_numeric(f, g)
+        for t in sample_points(f, g):
+            for u in (0.0, 0.4, 1.7, 6.0, 20.0):
+                assert leq(f(t + u), h(t) + g(u))
+
+    @given(curves(), curves())
+    def test_convolve_then_deconvolve_is_below(self, f, g):
+        # (f (*) g) (/) g <= f: deconvolving undoes at most what
+        # convolving gave away
+        g = self.compatible(f, g)
+        fg = convolve(f, g)
+        back = deconvolve_numeric(fg, g)
+        for t in sample_points(f, g):
+            assert leq(back(t), f(t))
+
+    @given(curves(), curves())
+    def test_deconvolution_is_supremum_witnessed(self, f, g):
+        # h(t) >= f(t + u) - g(u) at u = 0 gives h >= f - g(0)
+        g = self.compatible(f, g)
+        h = deconvolve_numeric(f, g)
+        for t in sample_points(f, g):
+            assert leq(f(t) - g(0.0), h(t))
+
+    @given(curves())
+    def test_deconvolve_by_zero_delay_is_identity(self, f):
+        delta0 = PiecewiseLinear.delay(0.0)
+        h = deconvolve_numeric(f, delta0)
+        for t in sample_points(f):
+            assert close(h(t), f(t))
+
+    def test_divergent_deconvolution_raises(self):
+        f = PiecewiseLinear.constant_rate(2.0)
+        g = PiecewiseLinear.constant_rate(1.0)
+        with pytest.raises(ValueError):
+            deconvolve_numeric(f, g)
+
+
+class TestLeftoverServiceMonotonicity:
+    CAPACITY = 20.0
+
+    def leftover(self, rate, burst, theta):
+        envelope = DeterministicEnvelope(
+            PiecewiseLinear.token_bucket(rate, burst)
+        )
+        return deterministic_leftover_service(
+            FIFO(), "through", self.CAPACITY, {"cross": envelope}, theta
+        )
+
+    @given(
+        st.floats(0.1, 8.0),
+        st.floats(0.0, 10.0),
+        st.floats(0.0, 5.0),
+        st.floats(0.0, 10.0),
+        st.floats(0.0, 4.0),
+    )
+    def test_antitone_in_cross_envelope(
+        self, rate, burst, extra_rate, extra_burst, theta
+    ):
+        # a larger cross-traffic envelope can only shrink what is left
+        small = self.leftover(rate, burst, theta)
+        big = self.leftover(rate + extra_rate, burst + extra_burst, theta)
+        for t in (0.0, 0.5, 1.0, 2.5, 7.0, 30.0):
+            assert leq(big(t), small(t))
+
+    @given(st.floats(0.1, 8.0), st.floats(0.0, 10.0), st.floats(0.0, 4.0))
+    def test_leftover_is_nonnegative_and_capped_by_capacity(
+        self, rate, burst, theta
+    ):
+        curve = self.leftover(rate, burst, theta)
+        previous = 0.0
+        for t in (0.0, 0.5, 1.0, 2.5, 7.0, 30.0):
+            value = curve(t)
+            assert value >= -ATOL
+            assert leq(value, self.CAPACITY * t)
+            assert value >= previous - ATOL  # nondecreasing
+            previous = value
+
+    @given(st.floats(0.1, 8.0), st.floats(0.0, 10.0))
+    def test_long_term_rate_is_capacity_minus_cross_rate(self, rate, burst):
+        curve = self.leftover(rate, burst, 0.0)
+        assert math.isclose(
+            curve.long_term_rate, self.CAPACITY - rate, rel_tol=1e-9
+        )

@@ -1,0 +1,30 @@
+"""Shared test configuration.
+
+Registers deterministic Hypothesis profiles so the property-based
+suites produce the same examples on every run:
+
+* ``default`` — derandomized, 100 examples (local runs);
+* ``ci`` — derandomized, 200 examples, no deadline (CI machines are
+  noisy enough that per-example deadlines only produce flakes).
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow sets it); the
+derandomized default is always loaded otherwise, so a plain local
+``pytest`` is deterministic too.  Hypothesis is optional: the guard
+keeps the rest of the suite importable in environments without it.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "default", derandomize=True, max_examples=100, deadline=None
+    )
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=200, deadline=None
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

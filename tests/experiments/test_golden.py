@@ -1,0 +1,140 @@
+"""Golden-value regression tests for the figure grids.
+
+Pins a representative slice of the fig. 2–4 cells — every scheduler at
+short, medium, and long paths — to numeric fixtures committed under
+``tests/experiments/golden/``.  The bound pipeline is deterministic, so
+any drift beyond 1e-9 relative means an intentional numeric change:
+regenerate the fixture and review the diff alongside the code change::
+
+    PYTHONPATH=src python tests/experiments/test_golden.py --regen
+
+The cells run at the quick grid fidelity (the same grids the benchmark
+harness uses), keeping the whole suite under a few seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import grids, paper_setting, setting_to_params
+from repro.experiments.example1 import fig2_cell
+from repro.experiments.example2 import fig3_cell
+from repro.experiments.example3 import fig4_cell
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "figure_cells.json"
+REL_TOL = 1e-9
+
+_SHARED = {**setting_to_params(paper_setting()), **grids(True)}
+
+#: name -> (cell function, cell kwargs).  Names are stable identifiers:
+#: they key the fixture file and the parametrized test ids.
+CASES: dict[str, tuple] = {}
+
+for _scheduler in ("BMUX", "FIFO", "EDF"):
+    for _hops in (1, 5, 10):
+        CASES[f"fig2-{_scheduler}-H{_hops}"] = (
+            fig2_cell,
+            {
+                "scheduler": _scheduler,
+                "hops": _hops,
+                "utilization": 0.5,
+                "n_through": 100,
+                **_SHARED,
+            },
+        )
+
+for _scheduler in ("FIFO", "EDF short", "EDF long"):
+    CASES[f"fig3-{_scheduler.replace(' ', '_')}-H5"] = (
+        fig3_cell,
+        {
+            "scheduler": _scheduler,
+            "hops": 5,
+            "mix": 0.5,
+            "utilization": 0.5,
+            **_SHARED,
+        },
+    )
+
+for _scheduler in ("BMUX additive", "EDF"):
+    CASES[f"fig4-{_scheduler.replace(' ', '_')}-H4"] = (
+        fig4_cell,
+        {
+            "scheduler": _scheduler,
+            "hops": 4,
+            "utilization": 0.5,
+            **_SHARED,
+        },
+    )
+
+
+def compute(name: str) -> dict:
+    """Run one golden cell and keep only the numeric row payload."""
+    fn, kwargs = CASES[name]
+    row = fn(**kwargs)["rows"][0]
+    return {
+        "series": row["series"],
+        "x": row["x"],
+        "delay": row["delay"],
+        "extra": dict(row["extra"]),
+    }
+
+
+def load_golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - regen aid
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; regenerate with "
+            "PYTHONPATH=src python tests/experiments/test_golden.py --regen"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def assert_value_close(name: str, key: str, actual, expected) -> None:
+    if isinstance(expected, float) and isinstance(actual, float):
+        if math.isinf(expected) or math.isinf(actual):
+            assert actual == expected, f"{name}: {key} {actual} != {expected}"
+        else:
+            assert actual == pytest.approx(expected, rel=REL_TOL), (
+                f"{name}: {key} drifted: {actual!r} != {expected!r}"
+            )
+    else:
+        assert actual == expected, f"{name}: {key} {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_cell_matches_golden(name):
+    golden = load_golden()
+    assert name in golden, (
+        f"no golden entry for {name}; regenerate the fixture"
+    )
+    expected = golden[name]
+    actual = compute(name)
+    assert actual["series"] == expected["series"]
+    assert_value_close(name, "x", actual["x"], expected["x"])
+    assert_value_close(name, "delay", actual["delay"], expected["delay"])
+    assert set(actual["extra"]) == set(expected["extra"])
+    for key, value in expected["extra"].items():
+        assert_value_close(name, f"extra.{key}", actual["extra"][key], value)
+
+
+def test_golden_file_covers_exactly_the_cases():
+    assert set(load_golden()) == set(CASES)
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    golden = {name: compute(name) for name in sorted(CASES)}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(golden)} cells to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

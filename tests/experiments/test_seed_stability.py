@@ -1,0 +1,75 @@
+"""Seed stability: reproducibility guarantees of the Monte Carlo grid.
+
+Two contracts keep validation runs reproducible and their caches
+reusable:
+
+* :func:`spawn_trial_seeds` is prefix-stable — growing the trial count
+  only *appends* seeds, so cached trial cells of a smaller run stay
+  valid verbatim;
+* for a fixed root seed the validation sweep produces byte-identical
+  rows whether the trials run serially (``--jobs 1``) or fan out over a
+  process pool (``--jobs 2``) — parallelism must not leak into results.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.executor import ParallelExecutor, SerialExecutor
+from repro.experiments.sweep import run_sweep
+from repro.experiments.validation import validation_spec
+from repro.simulation.engine import spawn_trial_seeds
+
+
+class TestSpawnTrialSeedsPrefixStability:
+    @pytest.mark.parametrize("k", range(1, 9))
+    def test_prefix_stable_across_growth(self, k):
+        assert spawn_trial_seeds(5, k) == spawn_trial_seeds(5, 12)[:k]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 2**31, 2**63 - 1])
+    def test_prefix_stable_for_varied_root_seeds(self, seed):
+        grown = spawn_trial_seeds(seed, 16)
+        for k in (1, 3, 16):
+            assert spawn_trial_seeds(seed, k) == grown[:k]
+
+    def test_seeds_within_a_spawn_are_distinct(self):
+        seeds = spawn_trial_seeds(5, 64)
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestValidationRowsJobInvariance:
+    @staticmethod
+    def spec():
+        return validation_spec(
+            schedulers=("FIFO", "EDF"),
+            hops=(1,),
+            slots=2_000,
+            seed=11,
+            n_trials=2,
+        )
+
+    @staticmethod
+    def row_bytes(result) -> bytes:
+        return json.dumps(result.rows, sort_keys=True).encode()
+
+    def test_rows_byte_identical_serial_vs_parallel(self):
+        serial = run_sweep(self.spec(), executor=SerialExecutor())
+        parallel = run_sweep(self.spec(), executor=ParallelExecutor(2))
+        assert self.row_bytes(serial) == self.row_bytes(parallel)
+
+    def test_rows_byte_identical_across_repeat_serial_runs(self):
+        first = run_sweep(self.spec(), executor=SerialExecutor())
+        second = run_sweep(self.spec(), executor=SerialExecutor())
+        assert self.row_bytes(first) == self.row_bytes(second)
+
+    def test_root_seed_changes_the_rows(self):
+        base = run_sweep(self.spec(), executor=SerialExecutor())
+        other_spec = validation_spec(
+            schedulers=("FIFO", "EDF"),
+            hops=(1,),
+            slots=2_000,
+            seed=12,
+            n_trials=2,
+        )
+        other = run_sweep(other_spec, executor=SerialExecutor())
+        assert self.row_bytes(base) != self.row_bytes(other)

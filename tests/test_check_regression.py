@@ -97,7 +97,14 @@ class TestGate:
             "bench_a": 1.0, "bench_b": 10.0, "bench_c": 0.1, "bench_d": 5.0,
         }
         assert self.run(tmp_path, baseline, means) == 1
-        assert "UNBASELINED" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "UNBASELINED" in captured.out
+        # the failure names the offender and the exact regen command
+        assert "bench_d" in captured.err
+        assert (
+            "pytest benchmarks/ --benchmark-json=BENCH_PR.json && "
+            "python benchmarks/check_regression.py BENCH_PR.json --update"
+        ) in captured.err
 
     def test_tolerance_flag(self, tmp_path, baseline):
         means = {"bench_a": 1.2, "bench_b": 10.0, "bench_c": 0.1}
