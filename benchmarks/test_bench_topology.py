@@ -1,0 +1,83 @@
+"""Benchmark: the feed-forward topology engines.
+
+Two timings of the DAG simulation substrate:
+
+* the vectorized all-FIFO DAG engine on the sink-tree scenario (the
+  canonical heterogeneous shape) — the throughput workhorse of the
+  topology sweeps;
+* the chunk DAG engine on the same workload, with the agreement of the
+  two engines asserted (mass conservation + quantile within one slot),
+  so the benchmark doubles as an end-to-end cross-validation at a
+  realistic scale.
+
+Also regenerates the per-route bound-vs-simulation table of the
+parking-lot scenario into ``output/topology_parking_lot.txt``.
+"""
+
+from conftest import emit
+
+from repro.arrivals.mmoo import MMOOParameters
+from repro.experiments.sweep import run_sweep
+from repro.experiments.topology import (
+    format_topology,
+    rows_to_topology,
+    topology_spec,
+)
+from repro.simulation.engine import sample_topology_arrivals
+from repro.simulation.network import DagNetwork
+from repro.simulation.vectorized import run_topology_vectorized
+from repro.topology import sink_tree
+
+TRAFFIC = MMOOParameters.paper_defaults()
+SLOTS = 20_000
+SEED = 11
+
+
+def _workload():
+    topology = sink_tree(depth=2, branching=2, n_flows_per_leaf=20)
+    routes, cross = sample_topology_arrivals(topology, TRAFFIC, SLOTS, SEED)
+    return topology, routes, cross
+
+
+def test_topology_vectorized_engine(benchmark):
+    """Vectorized DAG engine on a 2-level sink tree, 20k slots."""
+    topology, routes, cross = _workload()
+    result = benchmark.pedantic(
+        lambda: run_topology_vectorized(topology, routes, cross),
+        rounds=3,
+        iterations=1,
+    )
+    assert set(result.route_delays) == {r.name for r in topology.routes}
+    benchmark.extra_info["slots"] = SLOTS
+    benchmark.extra_info["routes"] = len(topology.routes)
+
+
+def test_topology_chunk_engine_agrees(benchmark):
+    """Chunk DAG engine on the same workload; engines agree within a slot."""
+    topology, routes, cross = _workload()
+    chunk = benchmark.pedantic(
+        lambda: DagNetwork(topology).run(routes, cross),
+        rounds=1,
+        iterations=1,
+    )
+    vec = run_topology_vectorized(topology, routes, cross)
+    for route in topology.routes:
+        c_rec = chunk.route_delays[route.name]
+        v_rec = vec.route_delays[route.name]
+        assert abs(c_rec.total_mass - v_rec.total_mass) < 1e-6
+        assert abs(c_rec.quantile(0.99) - v_rec.quantile(0.99)) <= 1.0
+
+
+def test_topology_parking_lot_sweep(benchmark, output_dir):
+    """Quick parking-lot grid end to end through the sweep engine."""
+    spec = topology_spec(
+        "parking-lot", 4, n_flows=20, slots=SLOTS, n_trials=1, quick=True
+    )
+    result = benchmark.pedantic(
+        lambda: run_sweep(spec), rounds=1, iterations=1
+    )
+    rows = rows_to_topology(result.rows)
+    table = format_topology(rows)
+    emit(output_dir, "topology_parking_lot", table)
+    for row in rows:
+        assert row.sound, table

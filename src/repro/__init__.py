@@ -67,6 +67,13 @@ _EXPORTS = {
     "mgf_delay_bound": "repro.singlenode",
     "packetize_service": "repro.service",
     "TandemNetwork": "repro.simulation",
+    "Topology": "repro.topology",
+    "NodeSpec": "repro.topology",
+    "Route": "repro.topology",
+    "DagNetwork": "repro.simulation",
+    "extract_route": "repro.topology",
+    "route_delay_bound_mmoo": "repro.topology",
+    "build_scenario": "repro.topology",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -12,7 +12,10 @@ function:
 * :mod:`repro.experiments.example3` — Fig. 4: bounds vs. path length at
   U in {10, 50, 90}%, including the additive per-node BMUX baseline;
 * :mod:`repro.experiments.validation` — added experiment: simulated delay
-  quantiles against the analytic bounds.
+  quantiles against the analytic bounds;
+* :mod:`repro.experiments.topology` — added experiment: per-route bounds
+  vs. simulation on feed-forward scenarios (sink tree, parking lot,
+  fat-tree slice, random DAGs).
 
 The specs execute through the sweep engine
 (:func:`~repro.experiments.sweep.run_sweep`): cells run on a pluggable
@@ -49,6 +52,7 @@ from repro.experiments.sweep import (
     cell_key,
     run_sweep,
 )
+from repro.experiments.topology import run_topology, topology_spec
 from repro.experiments.validation import run_validation, validation_spec
 
 __all__ = [
@@ -58,10 +62,12 @@ __all__ = [
     "run_example2",
     "run_example3",
     "run_validation",
+    "run_topology",
     "fig2_spec",
     "fig3_spec",
     "fig4_spec",
     "validation_spec",
+    "topology_spec",
     "Cell",
     "CellResult",
     "SweepResult",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig3 --hops 2 5 --json fig3.json
     python -m repro.experiments fig4 --utilizations 0.5 --no-cache
     python -m repro.experiments validation --slots 30000 --seed 7
+    python -m repro.experiments topology --topology parking-lot --size 4
 
 Each command declares one of the paper's figures (or the added
 validation experiment) as a sweep spec and runs it through the sweep
@@ -44,6 +45,12 @@ from repro.experiments.runner import (
     write_json_artifact,
 )
 from repro.experiments.sweep import run_sweep
+from repro.experiments.topology import (
+    format_topology,
+    rows_to_topology,
+    topology_spec,
+    topology_summary,
+)
 from repro.experiments.validation import (
     format_validation,
     rows_to_validation,
@@ -51,6 +58,8 @@ from repro.experiments.validation import (
     validation_summary,
 )
 from repro.simulation.engine import ENGINES
+from repro.topology import ANALYZABLE_SCHEDULERS
+from repro.topology.scenarios import SCENARIOS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +154,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(pv)
 
+    pt = sub.add_parser(
+        "topology",
+        help="per-route bounds vs. simulation on a feed-forward scenario",
+    )
+    pt.add_argument(
+        "--topology", choices=SCENARIOS, default="sink-tree",
+        help="scenario shape (default: sink-tree)",
+    )
+    pt.add_argument(
+        "--size", type=int, default=2,
+        help="scenario size knob: hops (line/parking-lot), depth "
+        "(sink-tree), pods (fat-tree), or node count (random)",
+    )
+    pt.add_argument(
+        "--scheduler", choices=ANALYZABLE_SCHEDULERS, default="fifo",
+        help="scheduler at every node (default: fifo)",
+    )
+    pt.add_argument(
+        "--n-flows", type=int, default=20,
+        help="flows per route / per cross aggregate (default: 20)",
+    )
+    pt.add_argument(
+        "--utilization", type=float, default=0.7,
+        help="target link utilization the capacities are sized for",
+    )
+    pt.add_argument(
+        "--scenario-seed", type=int, default=0,
+        help="seed of the random scenario generator (random only)",
+    )
+    pt.add_argument("--slots", type=int, default=20_000)
+    pt.add_argument("--epsilon", type=float, default=1e-3)
+    pt.add_argument(
+        "--seed", type=int, default=5,
+        help="root seed; per-trial seeds are spawned from it and "
+        "recorded in the artifact for reproducibility",
+    )
+    pt.add_argument(
+        "--trials", type=int, default=1, metavar="N",
+        help="independent Monte Carlo trials of the whole topology "
+        "(default: 1)",
+    )
+    pt.add_argument(
+        "--engine", choices=("auto",) + ENGINES, default="auto",
+        help="simulation engine: 'auto' picks the vectorized fast path "
+        "whenever the topology supports it (default)",
+    )
+    _add_common(pt)
+
     return parser
 
 
@@ -167,6 +224,22 @@ def _build_spec(args: argparse.Namespace):
         return fig4_spec(
             hops=tuple(args.hops),
             utilizations=tuple(args.utilizations),
+            quick=not args.full,
+            backend=args.backend,
+        )
+    if args.command == "topology":
+        return topology_spec(
+            args.topology,
+            args.size,
+            scheduler=args.scheduler,
+            n_flows=args.n_flows,
+            utilization=args.utilization,
+            scenario_seed=args.scenario_seed,
+            epsilon=args.epsilon,
+            slots=args.slots,
+            seed=args.seed,
+            n_trials=args.trials,
+            engine=args.engine,
             quick=not args.full,
             backend=args.backend,
         )
@@ -208,6 +281,11 @@ def _run(args) -> int:
         print(format_validation(validation_rows))
         csv_text = dict_rows_to_csv(result.rows)
         rc = 0 if all(row.sound for row in validation_rows) else 1
+    elif args.command == "topology":
+        topology_rows = rows_to_topology(result.rows)
+        print(format_topology(topology_rows))
+        csv_text = dict_rows_to_csv(result.rows)
+        rc = 0 if all(row.sound for row in topology_rows) else 1
     else:
         rows = result.experiment_rows()
         print(format_table(rows, x_label=spec.x_label))
@@ -247,6 +325,14 @@ def _run(args) -> int:
             meta["trials"] = args.trials
             meta["engine"] = args.engine
             meta["summary"] = validation_summary(validation_rows)
+        elif args.command == "topology":
+            meta["topology"] = args.topology
+            meta["size"] = args.size
+            meta["scheduler"] = args.scheduler
+            meta["seed"] = args.seed
+            meta["trials"] = args.trials
+            meta["engine"] = args.engine
+            meta["summary"] = topology_summary(topology_rows)
         artifact = result.to_artifact(meta=meta)
         if args.trace:
             artifact["metrics"] = obs.snapshot()

@@ -14,6 +14,7 @@ Units: time in ms (one slot), data in kbit, rates in Mbps
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.arrivals.mmoo import MMOOParameters
@@ -34,6 +35,17 @@ EPSILON = 1e-9
 #: per-probe reference implementation.  Both return the same bounds.
 BACKENDS = ("numpy", "scalar")
 DEFAULT_BACKEND = "numpy"
+
+#: Experiment scheduler name -> (simulator scheduler, analysis Delta,
+#: EDF deadlines or None).  The deadlines are the paper's Section V EDF
+#: setting (d*_0 = 1, d*_c = 10), making Delta = d*_0 - d*_c = -9.
+#: Shared by the validation and topology experiments so both label their
+#: rows with the same scheduler vocabulary.
+SCHEDULER_MAP = {
+    "FIFO": ("fifo", 0.0, None),
+    "BMUX": ("bmux", math.inf, None),
+    "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
+}
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.experiments.config import (
     DEFAULT_BACKEND,
+    SCHEDULER_MAP,
     PaperSetting,
     grids,
     paper_setting,
@@ -93,13 +94,6 @@ class ValidationRow:
         )
 
 
-#: scheduler name -> (simulator scheduler, analysis Delta, EDF deadlines)
-_SCHEDULER_MAP = {
-    "FIFO": ("fifo", 0.0, None),
-    "BMUX": ("bmux", math.inf, None),
-    "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
-}
-
 BOUND_CELL_FN = "repro.experiments.validation:validation_bound_cell"
 TRIAL_CELL_FN = "repro.experiments.validation:validation_trial_cell"
 
@@ -129,7 +123,7 @@ def validation_bound_cell(
     and the simulated quantile level), not the paper's 1e-9 setting.
     """
     setting = setting_from_params(traffic, capacity, epsilon)
-    _, delta, _ = _SCHEDULER_MAP[scheduler]
+    _, delta, _ = SCHEDULER_MAP[scheduler]
     n_half = _n_half(traffic, capacity, epsilon, utilization)
     bound = e2e_delay_bound_mmoo(
         setting.traffic, n_half, n_half, hops, setting.capacity,
@@ -172,7 +166,7 @@ def validation_trial_cell(
     of how many trials the declaring sweep asked for.
     """
     setting = setting_from_params(traffic, capacity, epsilon)
-    sim_name, _, edf_deadlines = _SCHEDULER_MAP[scheduler]
+    sim_name, _, edf_deadlines = SCHEDULER_MAP[scheduler]
     n_half = _n_half(traffic, capacity, epsilon, utilization)
     config_kwargs = {}
     if edf_deadlines is not None:

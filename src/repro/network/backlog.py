@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from repro.arrivals.ebb import EBB
 from repro.arrivals.mmoo import MMOOParameters
 from repro.network.convolution import network_service_curve
-from repro.network.e2e import _max_feasible_s, check_backend, sigma_for_epsilon
+from repro.network.e2e import (
+    _max_feasible_s,
+    check_backend,
+    mmoo_ebb_pair,
+    sigma_for_epsilon,
+)
 from repro.network.optimization import homogeneous_hops, solve_exact
 from repro.scheduling.delta import CustomDelta
 from repro.service.leftover import leftover_service_curve
@@ -159,8 +164,7 @@ def e2e_backlog_bound_mmoo(
     s_max = _max_feasible_s(traffic, n_through + max(n_cross, 1), capacity)
 
     def at_s(s: float) -> BacklogResult:
-        through = traffic.ebb(n_through, s)
-        cross = traffic.ebb(n_cross, s) if n_cross > 0 else EBB(1.0, 1e-12, s)
+        through, cross = mmoo_ebb_pair(traffic, n_through, n_cross, s)
         return e2e_backlog_bound(
             through, cross, hops, capacity, delta, epsilon,
             gamma_grid=gamma_grid, backend=backend,

@@ -333,6 +333,24 @@ def _max_feasible_s(
     )
 
 
+def mmoo_ebb_pair(
+    traffic: MMOOParameters, n_through: int, n_cross: int, s: float
+) -> tuple[EBB, EBB]:
+    """The (through, cross) EBB pair of MMOO aggregates at parameter ``s``.
+
+    ``n_cross = 0`` yields an epsilon-rate placeholder (rate ``1e-12``,
+    prefactor ``1``) so the downstream formulas stay well defined; every
+    MMOO entry point shares this one construction so bounds computed
+    through different layers agree bitwise.
+    """
+    through = traffic.ebb(n_through, s)
+    if n_cross > 0:
+        cross = traffic.ebb(n_cross, s)
+    else:
+        cross = EBB(1.0, 1e-12, s)
+    return through, cross
+
+
 def e2e_delay_bound_mmoo(
     traffic: MMOOParameters,
     n_through: int,
@@ -388,14 +406,7 @@ def _e2e_delay_bound_mmoo_feasible(
     s_max = _max_feasible_s(traffic, n_through + max(n_cross, 1), capacity)
 
     def ebb_pair(s: float) -> tuple[EBB, EBB]:
-        through = traffic.ebb(n_through, s)
-        if n_cross > 0:
-            cross = traffic.ebb(n_cross, s)
-        else:
-            # a vanishing cross aggregate: epsilon-rate placeholder so the
-            # downstream formulas stay well defined
-            cross = EBB(1.0, 1e-12, s)
-        return through, cross
+        return mmoo_ebb_pair(traffic, n_through, n_cross, s)
 
     def at_s(s: float) -> E2EResult:
         through, cross = ebb_pair(s)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.arrivals.ebb import EBB
 from repro.arrivals.statistical import ExponentialBound, combine_bounds
@@ -99,6 +100,42 @@ class HeterogeneousPath:
     @property
     def hops(self) -> int:
         return len(self.nodes)
+
+    @classmethod
+    def from_sequences(
+        cls,
+        capacities: Sequence[float],
+        cross: Sequence[EBB],
+        deltas: Sequence[float],
+    ) -> "HeterogeneousPath":
+        """Build a path from parallel per-node sequences.
+
+        The three sequences must have one entry per node.  A length
+        mismatch raises a :class:`ValueError` naming the offending
+        field(s) immediately, instead of failing deep inside the solver
+        with an index error.
+        """
+        lengths = {
+            "capacities": len(capacities),
+            "cross": len(cross),
+            "deltas": len(deltas),
+        }
+        hops = max(lengths.values(), default=0)
+        if hops == 0:
+            raise ValueError("a path needs at least one node")
+        short = [name for name, n in lengths.items() if n != hops]
+        if short:
+            detail = ", ".join(f"{name}={lengths[name]}" for name in short)
+            raise ValueError(
+                f"per-node sequences disagree in length: {detail} "
+                f"(expected one entry per node, longest has {hops})"
+            )
+        return cls(
+            nodes=tuple(
+                HopSpec(capacity=float(c), cross=x, delta=float(d))
+                for c, x, d in zip(capacities, cross, deltas)
+            )
+        )
 
     def _sigma(self, through: EBB, gamma: float, epsilon: float) -> float:
         bounds: list[ExponentialBound] = [through.sample_path_bound(gamma)]

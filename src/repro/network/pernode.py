@@ -183,15 +183,12 @@ def additive_pernode_delay_bound_mmoo(
     if (n_through + n_cross) * traffic.mean_rate >= capacity:
         return _INFEASIBLE
 
-    from repro.network.e2e import _max_feasible_s
+    from repro.network.e2e import _max_feasible_s, mmoo_ebb_pair
 
     s_max = _max_feasible_s(traffic, n_through + max(n_cross, 1), capacity)
 
     def at_s(s: float) -> AdditiveResult:
-        through = traffic.ebb(n_through, s)
-        cross = (
-            traffic.ebb(n_cross, s) if n_cross > 0 else EBB(1.0, 1e-12, s)
-        )
+        through, cross = mmoo_ebb_pair(traffic, n_through, n_cross, s)
         return additive_pernode_delay_bound(
             through, cross, hops, capacity, epsilon,
             gamma_grid=gamma_grid, backend=backend,

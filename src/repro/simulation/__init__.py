@@ -24,7 +24,13 @@ from repro.simulation.schedulers import (
     bmux_policy,
 )
 from repro.simulation.node import Link
-from repro.simulation.network import TandemNetwork, TandemResult
+from repro.simulation.network import (
+    DagNetwork,
+    DagResult,
+    TandemNetwork,
+    TandemResult,
+    default_policy_factory,
+)
 from repro.simulation.metrics import (
     BacklogRecorder,
     DelayRecorder,
@@ -34,13 +40,17 @@ from repro.simulation.vectorized import (
     VECTORIZED_SCHEDULERS,
     delays_between,
     run_tandem_vectorized,
+    run_topology_vectorized,
 )
 from repro.simulation.engine import (
     ENGINES,
     SimulationConfig,
     TrialResult,
+    resolve_topology_engine,
+    sample_topology_arrivals,
     simulate_tandem_mmoo,
     simulate_tandem_mmoo_trials,
+    simulate_topology_mmoo,
     spawn_trial_seeds,
 )
 
@@ -52,18 +62,25 @@ __all__ = [
     "GPSPolicy",
     "bmux_policy",
     "Link",
+    "DagNetwork",
+    "DagResult",
     "TandemNetwork",
     "TandemResult",
+    "default_policy_factory",
     "DelayRecorder",
     "BacklogRecorder",
     "order_statistics_ci",
     "VECTORIZED_SCHEDULERS",
     "delays_between",
     "run_tandem_vectorized",
+    "run_topology_vectorized",
     "ENGINES",
     "SimulationConfig",
     "TrialResult",
+    "resolve_topology_engine",
+    "sample_topology_arrivals",
     "simulate_tandem_mmoo",
     "simulate_tandem_mmoo_trials",
+    "simulate_topology_mmoo",
     "spawn_trial_seeds",
 ]

@@ -17,7 +17,12 @@ import numpy as np
 from repro import obs
 from repro.arrivals.mmoo import MMOOParameters
 from repro.arrivals.processes import mmoo_aggregate_arrivals
-from repro.simulation.network import TandemNetwork, TandemResult
+from repro.simulation.network import (
+    DagNetwork,
+    DagResult,
+    TandemNetwork,
+    TandemResult,
+)
 from repro.simulation.schedulers import (
     EDFPolicy,
     FIFOPolicy,
@@ -29,7 +34,9 @@ from repro.simulation.schedulers import (
 from repro.simulation.vectorized import (
     VECTORIZED_SCHEDULERS,
     run_tandem_vectorized,
+    run_topology_vectorized,
 )
+from repro.topology.model import Topology
 from repro.utils.validation import check_int, check_positive
 
 SchedulerName = Literal["fifo", "bmux", "edf", "sp", "gps"]
@@ -200,6 +207,157 @@ def simulate_tandem_mmoo(config: SimulationConfig) -> TandemResult:
                 config.slots / elapsed,
             )
     return result
+
+
+def resolve_topology_engine(
+    topology: Topology,
+    engine: str,
+    *,
+    preemptive: bool = True,
+    packet_size: float | None = None,
+) -> str:
+    """Resolve an engine selector for a topology simulation.
+
+    ``"auto"`` picks the vectorized fast path whenever it applies — a
+    line (tandem) topology with a vectorized scheduler, or an all-FIFO
+    DAG — and the chunk engine otherwise.  An explicit ``"vectorized"``
+    raises if the topology/scheduler combination has no vectorized
+    implementation.
+    """
+    if engine not in ("auto",) + ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (one of {('auto',) + ENGINES})"
+        )
+    fluid = preemptive and packet_size is None
+    tandem = topology.as_tandem()
+    vectorizable = fluid and (
+        (tandem is not None and tandem.scheduler in VECTORIZED_SCHEDULERS)
+        or all(n.scheduler == "fifo" for n in topology.nodes)
+    )
+    if engine == "auto":
+        return "vectorized" if vectorizable else "chunk"
+    if engine == "vectorized" and not vectorizable:
+        raise ValueError(
+            "the vectorized engine covers line topologies with schedulers "
+            f"{VECTORIZED_SCHEDULERS} and all-FIFO DAGs (preemptive fluid "
+            "only); use engine='chunk' for this topology"
+        )
+    return engine
+
+
+def sample_topology_arrivals(
+    topology: Topology,
+    traffic: MMOOParameters,
+    slots: int,
+    seed: int,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Sample per-route and per-node-cross MMOO arrival arrays.
+
+    One RNG stream seeded at ``seed`` draws every route aggregate in
+    route declaration order, then every node-local cross aggregate in
+    node declaration order (nodes with ``n_cross = 0`` consume no
+    draws).  For a :meth:`Topology.line` this is exactly the draw order
+    of :func:`simulate_tandem_mmoo` — same seed, same sample path.
+    """
+    check_int(slots, "slots", minimum=1)
+    rng = np.random.default_rng(seed)
+    route_arrivals = {
+        route.name: mmoo_aggregate_arrivals(
+            traffic, route.n_flows, slots, rng
+        )
+        for route in topology.routes
+    }
+    cross_arrivals = {}
+    for node in topology.nodes:
+        if node.n_cross > 0:
+            cross_arrivals[node.name] = mmoo_aggregate_arrivals(
+                traffic, node.n_cross, slots, rng
+            )
+        else:
+            cross_arrivals[node.name] = np.zeros(slots)
+    return route_arrivals, cross_arrivals
+
+
+def simulate_topology_mmoo(
+    topology: Topology,
+    traffic: MMOOParameters,
+    slots: int,
+    seed: int,
+    *,
+    engine: str = "auto",
+    preemptive: bool = True,
+    packet_size: float | None = None,
+    record_backlog: bool = False,
+) -> DagResult:
+    """Run one feed-forward topology simulation with MMOO workloads.
+
+    Each route and each node's local cross descriptor becomes an
+    independent MMOO aggregate (see :func:`sample_topology_arrivals`);
+    node schedulers come from the topology's :class:`NodeSpec`\\ s.  For
+    a line topology this reproduces :func:`simulate_tandem_mmoo`
+    byte-for-byte on either engine; general DAGs run the topological
+    chunk loop or, when all nodes are FIFO, the vectorized DAG engine.
+    """
+    resolved = resolve_topology_engine(
+        topology, engine, preemptive=preemptive, packet_size=packet_size
+    )
+    with obs.trace("simulation.sample_arrivals"):
+        route_arrivals, cross_arrivals = sample_topology_arrivals(
+            topology, traffic, slots, seed
+        )
+    start = time.perf_counter()
+    with obs.trace(f"simulation.run.{resolved}"):
+        tandem = topology.as_tandem()
+        if resolved == "vectorized" and tandem is not None:
+            route = topology.routes[0]
+            cross_rows = [
+                cross_arrivals[n.name] for n in topology.nodes
+            ]
+            tandem_result = run_tandem_vectorized(
+                route_arrivals[route.name],
+                cross_rows,
+                capacity=tandem.capacity,
+                scheduler=tandem.scheduler,
+                edf_deadline_through=tandem.edf_deadline_through,
+                edf_deadline_cross=tandem.edf_deadline_cross,
+                record_backlog=record_backlog,
+            )
+            result = _tandem_to_dag(tandem_result, topology)
+        elif resolved == "vectorized":
+            result = run_topology_vectorized(
+                topology, route_arrivals, cross_arrivals,
+                record_backlog=record_backlog,
+            )
+        else:
+            network = DagNetwork(
+                topology, preemptive=preemptive, packet_size=packet_size
+            )
+            result = network.run(
+                route_arrivals, cross_arrivals,
+                record_backlog=record_backlog,
+            )
+    if obs.enabled():
+        elapsed = time.perf_counter() - start
+        obs.add(f"simulation.{resolved}.runs")
+        obs.add(f"simulation.{resolved}.slots", slots)
+        if elapsed > 0.0:
+            obs.observe(
+                f"simulation.{resolved}.slots_per_s", slots / elapsed
+            )
+    return result
+
+
+def _tandem_to_dag(result: TandemResult, topology: Topology) -> DagResult:
+    """Repackage a tandem fast-path result under the topology's names."""
+    route = topology.routes[0]
+    names = [node.name for node in topology.nodes]
+    return DagResult(
+        route_delays={route.name: result.through_delays},
+        cross_delays=dict(zip(names, result.cross_delays)),
+        node_backlogs=dict(zip(names, result.node_backlogs)),
+        slots=result.slots,
+        topology=topology,
+    )
 
 
 def spawn_trial_seeds(root_seed: int, n_trials: int) -> tuple[int, ...]:

@@ -1,33 +1,122 @@
-"""Tandem networks in the paper's Fig. 1 topology.
+"""Feed-forward networks of store-and-forward links (chunk engine).
 
-A through flow traverses ``H`` identical links; fresh cross traffic joins
-at each node and leaves right after it.  Store-and-forward timing: fluid
-served at node ``h`` in slot ``t`` arrives at node ``h+1`` in slot
-``t + 1`` (a conservative +1-per-hop with respect to the analysis' fluid
-cut-through convention; validation comparisons account for it).
+The general simulator is :class:`DagNetwork`: a slot loop in topological
+order over any validated :class:`repro.topology.Topology` — routes
+traverse their node sequences, node-local cross traffic joins at each
+node and leaves right after it.  The paper's Fig. 1 tandem is the
+degenerate line case, kept as the thin :class:`TandemNetwork` wrapper
+with its original interface (and bit-for-bit its original behavior).
+
+Store-and-forward timing: fluid served at a node in slot ``t`` arrives
+at the next node of its route in slot ``t + 1`` — a conservative
+``+1``-slot-per-hop with respect to the analysis' fluid cut-through
+convention, so under light load an ``H``-hop route sees exactly
+``H - 1`` slots of end-to-end delay (validation comparisons allow this
+slack).
+
+Within one slot the offer order is fixed — and for a line topology
+identical to the historical tandem loop: first every node's local cross
+traffic (in topological order), then each route's external arrivals at
+its first node (in route declaration order), then the chunks forwarded
+from the previous slot (per node, in topological order).  Cross traffic
+before through traffic is the adversarial convention under which greedy
+envelope patterns attain the worst-case bounds (Theorem 2), and a
+conservative one for validating probabilistic bounds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.simulation.chunk import Chunk
 from repro.simulation.metrics import BacklogRecorder, DelayRecorder
 from repro.simulation.node import Link
-from repro.simulation.schedulers import SchedulerPolicy
+from repro.simulation.schedulers import (
+    EDFPolicy,
+    FIFOPolicy,
+    GPSPolicy,
+    SchedulerPolicy,
+    StaticPriorityPolicy,
+)
+from repro.topology.model import NodeSpec, Topology
 from repro.utils.validation import check_int
 
 FlowId = Hashable
 
 THROUGH = "through"
 
+#: Fluid below this threshold counts as drained.
+_DRAIN_EPS = 1e-6
+
 
 def cross_flow_id(node_index: int) -> str:
-    """Flow identifier of the cross aggregate joining at node ``node_index``."""
+    """Flow identifier of the cross aggregate joining at node ``node_index``
+    of a tandem (the historical naming, kept for tandem compatibility)."""
     return f"cross{node_index}"
+
+
+def dag_cross_flow_id(node_name: str) -> str:
+    """Default flow identifier of the cross aggregate local to a DAG node."""
+    return f"cross:{node_name}"
+
+
+#: Signature of a :class:`DagNetwork` policy factory: called once per
+#: node with the node's spec, the identifiers of the routes crossing it
+#: (in route declaration order), and its local cross identifier.
+DagPolicyFactory = Callable[
+    [NodeSpec, tuple[str, ...], str], SchedulerPolicy
+]
+
+
+def default_policy_factory(
+    spec: NodeSpec, route_ids: tuple[str, ...], cross_id: str
+) -> SchedulerPolicy:
+    """Build the node's policy from its :attr:`NodeSpec.scheduler`.
+
+    Route aggregates all share the "through" role (BMUX de-prioritizes
+    them, SP prioritizes them, EDF gives them the through deadline, GPS
+    the through weight); the node-local cross aggregate takes the cross
+    role.  For a single route this reproduces the historical tandem
+    policies exactly.
+    """
+    if spec.scheduler == "fifo":
+        return FIFOPolicy()
+    if spec.scheduler == "bmux":
+        priorities = {route: 0.0 for route in route_ids}
+        priorities[cross_id] = 1.0
+        policy = StaticPriorityPolicy(priorities)
+        policy.name = "BMUX"
+        return policy
+    if spec.scheduler == "sp":
+        priorities = {route: 1.0 for route in route_ids}
+        priorities[cross_id] = 0.0
+        return StaticPriorityPolicy(priorities)
+    if spec.scheduler == "edf":
+        deadlines = {route: spec.edf_deadline_through for route in route_ids}
+        deadlines[cross_id] = spec.edf_deadline_cross
+        return EDFPolicy(deadlines)
+    weights = {route: spec.gps_weight_through for route in route_ids}
+    weights[cross_id] = spec.gps_weight_cross
+    return GPSPolicy(weights)
+
+
+@dataclass
+class DagResult:
+    """Collected measurements of a feed-forward network run.
+
+    Delay recorders are keyed by route name (end-to-end) and by node
+    name (the node-local cross aggregate served there); backlog
+    recorders by node name.
+    """
+
+    route_delays: dict[str, DelayRecorder]
+    cross_delays: dict[str, DelayRecorder]
+    node_backlogs: dict[str, BacklogRecorder]
+    slots: int
+    topology: Topology
 
 
 @dataclass
@@ -41,8 +130,216 @@ class TandemResult:
     hops: int
 
 
+class DagNetwork:
+    """A feed-forward network of store-and-forward links.
+
+    Parameters
+    ----------
+    topology:
+        The validated node/route DAG to instantiate.
+    policy_factory:
+        Called once per node (in declaration order) with
+        ``(spec, route_ids, cross_id)``; defaults to
+        :func:`default_policy_factory`, which reads
+        :attr:`NodeSpec.scheduler`.
+    preemptive:
+        ``False`` switches every link to the non-preemptive packet model.
+    packet_size:
+        Split each slot's external arrivals into packets of this size.
+    cross_id:
+        Naming hook mapping a node name to its local cross-flow
+        identifier (default :func:`dag_cross_flow_id`).  Route names and
+        cross identifiers must not collide.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy_factory: DagPolicyFactory | None = None,
+        *,
+        preemptive: bool = True,
+        packet_size: float | None = None,
+        cross_id: Callable[[str], str] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.preemptive = bool(preemptive)
+        if packet_size is not None and packet_size <= 0:
+            raise ValueError("packet_size must be > 0")
+        self.packet_size = packet_size
+        factory = policy_factory or default_policy_factory
+        cross_id = cross_id or dag_cross_flow_id
+        self._cross_ids = {n.name: cross_id(n.name) for n in topology.nodes}
+        route_names = {route.name for route in topology.routes}
+        collisions = route_names & set(self._cross_ids.values())
+        if collisions:
+            raise ValueError(
+                f"route name(s) collide with cross-flow identifiers: "
+                f"{sorted(collisions)}"
+            )
+        self._order = topology.topological_order()
+        # per node: the routes crossing it, in route declaration order
+        self._route_ids = {
+            n.name: tuple(
+                r.name for r in topology.routes if n.name in r.path
+            )
+            for n in topology.nodes
+        }
+        # (node, route) -> the route's next node, or None at its last hop
+        self._next_hop: dict[tuple[str, str], str | None] = {}
+        for route in topology.routes:
+            for here, nxt in zip(route.path, route.path[1:]):
+                self._next_hop[(here, route.name)] = nxt
+            self._next_hop[(route.path[-1], route.name)] = None
+        self.links = {
+            n.name: Link(
+                n.capacity,
+                factory(n, self._route_ids[n.name], self._cross_ids[n.name]),
+                preemptive=preemptive,
+            )
+            for n in topology.nodes
+        }
+
+    def _offer(
+        self, link: Link, flow: FlowId, amount: float, origin: int, slot: int
+    ) -> None:
+        """Offer ``amount`` as one chunk, or as packets of ``packet_size``."""
+        if self.packet_size is None:
+            link.offer(Chunk(flow, amount, origin), slot)
+            return
+        remaining = amount
+        while remaining > 1e-12:
+            piece = min(self.packet_size, remaining)
+            link.offer(Chunk(flow, piece, origin), slot)
+            remaining -= piece
+
+    def run(
+        self,
+        route_arrivals: Mapping[str, Sequence[float]],
+        cross_arrivals: Mapping[str, Sequence[float]] | None = None,
+        *,
+        drain: bool = True,
+        record_backlog: bool = False,
+    ) -> DagResult:
+        """Simulate the network on per-slot arrival arrays.
+
+        Parameters
+        ----------
+        route_arrivals:
+            ``route_arrivals[name][t]`` = fluid of route ``name``
+            entering its first node at slot ``t``; one entry per route.
+        cross_arrivals:
+            ``cross_arrivals[node][t]`` = node-local cross fluid entering
+            ``node`` at slot ``t``; nodes may be omitted (no cross).
+        drain:
+            Keep simulating (without new arrivals) until every route's
+            traffic has left the network, so every bit's end-to-end
+            delay is measured.
+        record_backlog:
+            Collect per-slot backlog samples at every node.
+        """
+        routes = {
+            r.name: np.asarray(route_arrivals[r.name], dtype=float)
+            if r.name in route_arrivals
+            else None
+            for r in self.topology.routes
+        }
+        missing = [name for name, row in routes.items() if row is None]
+        if missing:
+            raise ValueError(f"missing arrival rows for route(s) {missing}")
+        cross_arrivals = cross_arrivals or {}
+        unknown = set(cross_arrivals) - set(self._cross_ids)
+        if unknown:
+            raise ValueError(
+                f"cross arrivals reference unknown node(s) {sorted(unknown)}"
+            )
+        cross = {
+            name: np.asarray(row, dtype=float)
+            for name, row in cross_arrivals.items()
+        }
+        lengths = {len(row) for row in routes.values()}
+        lengths |= {len(row) for row in cross.values()}
+        if len(lengths) != 1:
+            raise ValueError("all arrival arrays must have equal length")
+        n_slots = lengths.pop()
+        check_int(n_slots, "slots", minimum=1)
+
+        route_recs = {r.name: DelayRecorder() for r in self.topology.routes}
+        cross_recs = {n.name: DelayRecorder() for n in self.topology.nodes}
+        backlog_recs = {n.name: BacklogRecorder() for n in self.topology.nodes}
+
+        # chunks in flight toward each node at the next slot
+        in_transit: dict[str, list[Chunk]] = {name: [] for name in self._order}
+        first_node = {r.name: r.path[0] for r in self.topology.routes}
+        slot = 0
+        pending = 0.0  # route fluid still inside the network
+        while slot < n_slots or pending > _DRAIN_EPS:
+            if drain is False and slot >= n_slots:
+                break
+            # fresh external arrivals; every node's local cross traffic
+            # first (topological order), then the route arrivals (route
+            # declaration order) — see the module docstring
+            if slot < n_slots:
+                for name in self._order:
+                    row = cross.get(name)
+                    if row is not None and row[slot] > 0:
+                        self._offer(
+                            self.links[name], self._cross_ids[name],
+                            float(row[slot]), slot, slot,
+                        )
+                for route_name, row in routes.items():
+                    if row[slot] > 0:
+                        self._offer(
+                            self.links[first_node[route_name]], route_name,
+                            float(row[slot]), slot, slot,
+                        )
+                        pending += float(row[slot])
+            # forwarded arrivals from the previous slot
+            for name in self._order:
+                for chunk in in_transit[name]:
+                    self.links[name].offer(chunk, slot)
+                in_transit[name] = []
+            # serve every link
+            for name in self._order:
+                link = self.links[name]
+                departed = link.advance(slot)
+                for chunk in departed:
+                    nxt = self._next_hop.get((name, chunk.flow), None)
+                    if nxt is not None:
+                        in_transit[nxt].append(
+                            Chunk(chunk.flow, chunk.size, chunk.origin_slot)
+                        )
+                    elif chunk.flow in route_recs:
+                        route_recs[chunk.flow].record(
+                            slot - chunk.origin_slot, chunk.size
+                        )
+                        pending -= chunk.size
+                    else:
+                        cross_recs[name].record(
+                            slot - chunk.origin_slot, chunk.size
+                        )
+                if record_backlog:
+                    backlog_recs[name].record(link.backlog())
+            slot += 1
+            if slot > n_slots + 1_000_000:  # pragma: no cover - safety valve
+                raise RuntimeError("simulation failed to drain")
+
+        return DagResult(
+            route_delays=route_recs,
+            cross_delays=cross_recs,
+            node_backlogs=backlog_recs,
+            slots=n_slots,
+            topology=self.topology,
+        )
+
+
 class TandemNetwork:
     """The Fig. 1 topology: ``hops`` links, per-node fresh cross traffic.
+
+    A thin wrapper over :class:`DagNetwork` on a line topology whose
+    nodes are named ``"0" .. "H-1"`` and whose cross flows keep the
+    historical identifiers ``cross0 .. cross{H-1}``; the slot loop,
+    offer order, and recorders are byte-for-byte those of the original
+    hard-wired tandem.
 
     Parameters
     ----------
@@ -68,28 +365,21 @@ class TandemNetwork:
         self.hops = check_int(hops, "hops", minimum=1)
         self.capacity = float(capacity)
         self.preemptive = bool(preemptive)
-        if packet_size is not None and packet_size <= 0:
-            raise ValueError("packet_size must be > 0")
-        self.packet_size = packet_size
-        self.links = [
-            Link(
-                capacity,
-                policy_factory(THROUGH, cross_flow_id(h)),
-                preemptive=preemptive,
-            )
-            for h in range(hops)
-        ]
-
-    def _offer(self, link: Link, flow, amount: float, origin: int, slot: int) -> None:
-        """Offer ``amount`` as one chunk, or as packets of ``packet_size``."""
-        if self.packet_size is None:
-            link.offer(Chunk(flow, amount, origin), slot)
-            return
-        remaining = amount
-        while remaining > 1e-12:
-            piece = min(self.packet_size, remaining)
-            link.offer(Chunk(flow, piece, origin), slot)
-            remaining -= piece
+        topology = Topology.line(
+            self.hops, capacity=self.capacity, n_through=1, n_cross=1,
+            route_name=THROUGH,
+        )
+        self._dag = DagNetwork(
+            topology,
+            lambda spec, route_ids, cross_id: policy_factory(
+                route_ids[0], cross_id
+            ),
+            preemptive=preemptive,
+            packet_size=packet_size,
+            cross_id=lambda name: cross_flow_id(int(name)),
+        )
+        self.packet_size = self._dag.packet_size
+        self.links = [self._dag.links[str(h)] for h in range(self.hops)]
 
     def run(
         self,
@@ -116,71 +406,25 @@ class TandemNetwork:
         record_backlog:
             Collect per-slot backlog samples at every node.
         """
-        through = np.asarray(through_arrivals, dtype=float)
-        cross = [np.asarray(row, dtype=float) for row in cross_arrivals]
+        cross = list(cross_arrivals)
         if len(cross) != self.hops:
             raise ValueError(
                 f"need {self.hops} cross arrival rows, got {len(cross)}"
             )
-        n_slots = len(through)
-        if any(len(row) != n_slots for row in cross):
-            raise ValueError("all arrival arrays must have equal length")
-
-        through_rec = DelayRecorder()
-        cross_recs = tuple(DelayRecorder() for _ in range(self.hops))
-        backlog_recs = tuple(BacklogRecorder() for _ in range(self.hops))
-
-        # chunks in flight toward node h at the next slot
-        in_transit: list[list[Chunk]] = [[] for _ in range(self.hops)]
-        slot = 0
-        pending = 0.0  # through fluid still inside the network
-        while slot < n_slots or pending > 1e-6:
-            if drain is False and slot >= n_slots:
-                break
-            # fresh external arrivals; cross traffic is offered first so
-            # FIFO ties within a slot resolve *against* the through flow —
-            # the adversarial convention under which greedy envelope
-            # patterns attain the worst-case bounds (Theorem 2), and a
-            # conservative one for validating probabilistic bounds
-            if slot < n_slots:
-                for h in range(self.hops):
-                    if cross[h][slot] > 0:
-                        self._offer(
-                            self.links[h], cross_flow_id(h),
-                            float(cross[h][slot]), slot, slot,
-                        )
-                if through[slot] > 0:
-                    self._offer(
-                        self.links[0], THROUGH, float(through[slot]), slot, slot
-                    )
-                    pending += float(through[slot])
-            # forwarded arrivals from the previous slot
-            for h in range(self.hops):
-                for chunk in in_transit[h]:
-                    self.links[h].offer(chunk, slot)
-                in_transit[h] = []
-            # serve every link
-            for h, link in enumerate(self.links):
-                departed = link.advance(slot)
-                for chunk in departed:
-                    if chunk.flow == THROUGH:
-                        if h + 1 < self.hops:
-                            in_transit[h + 1].append(
-                                Chunk(THROUGH, chunk.size, chunk.origin_slot)
-                            )
-                        else:
-                            through_rec.record(
-                                slot - chunk.origin_slot, chunk.size
-                            )
-                            pending -= chunk.size
-                    else:
-                        cross_recs[h].record(slot - chunk.origin_slot, chunk.size)
-                if record_backlog:
-                    backlog_recs[h].record(link.backlog())
-            slot += 1
-            if slot > n_slots + 1_000_000:  # pragma: no cover - safety valve
-                raise RuntimeError("simulation failed to drain")
-
+        result = self._dag.run(
+            {THROUGH: through_arrivals},
+            {str(h): cross[h] for h in range(self.hops)},
+            drain=drain,
+            record_backlog=record_backlog,
+        )
         return TandemResult(
-            through_rec, backlog_recs, cross_recs, n_slots, self.hops
+            through_delays=result.route_delays[THROUGH],
+            node_backlogs=tuple(
+                result.node_backlogs[str(h)] for h in range(self.hops)
+            ),
+            cross_delays=tuple(
+                result.cross_delays[str(h)] for h in range(self.hops)
+            ),
+            slots=result.slots,
+            hops=self.hops,
         )

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro import obs
 from repro.simulation.metrics import BacklogRecorder, DelayRecorder
-from repro.simulation.network import TandemResult
+from repro.simulation.network import DagResult, TandemResult
+from repro.topology.model import Topology
 
 #: Fluid smaller than this is treated as zero (matches the chunk engine).
 _MASS_EPS = 1e-9
@@ -84,6 +85,36 @@ def _split_fifo(
     before_through = np.where(slot > 0, through_cum[slot - 1], 0.0)
     within = np.clip(prefix - before_total - cross[slot], 0.0, through[slot])
     return np.maximum.accumulate(before_through + within)
+
+
+def _split_fifo_multi(
+    flows: list[np.ndarray], departed_cum: np.ndarray
+) -> list[np.ndarray]:
+    """Cumulative per-flow departures of a FIFO link with ``k`` inputs.
+
+    Generalizes :func:`_split_fifo` to any number of flows: ``flows``
+    lists the per-slot arrival arrays in within-slot precedence order
+    (offered earlier = served earlier within a slot), and each flow's
+    share of the served prefix subtracts the boundary-slot arrivals of
+    every flow ahead of it.  For ``flows = [cross, through]`` the second
+    entry reproduces :func:`_split_fifo` exactly.
+    """
+    total_cum = np.cumsum(np.sum(flows, axis=0))
+    prefix = np.minimum(departed_cum, total_cum)
+    slot = np.searchsorted(total_cum, prefix, side="left")
+    slot = np.minimum(slot, len(total_cum) - 1)
+    before_total = np.where(slot > 0, total_cum[slot - 1], 0.0)
+    offset = np.zeros(len(departed_cum))
+    out = []
+    for flow in flows:
+        flow_cum = np.cumsum(flow)
+        before_flow = np.where(slot > 0, flow_cum[slot - 1], 0.0)
+        within = np.clip(
+            prefix - before_total - offset, 0.0, flow[slot]
+        )
+        out.append(np.maximum.accumulate(before_flow + within))
+        offset = offset + flow[slot]
+    return out
 
 
 def _serve_priority(
@@ -398,4 +429,147 @@ def run_tandem_vectorized(
         cross_delays=tuple(cross_recorders),
         slots=n_slots,
         hops=hops,
+    )
+
+
+def run_topology_vectorized(
+    topology: Topology,
+    route_arrivals: dict[str, np.ndarray],
+    cross_arrivals: dict[str, np.ndarray] | None = None,
+    *,
+    record_backlog: bool = False,
+) -> DagResult:
+    """Simulate an all-FIFO feed-forward topology, fully vectorized.
+
+    Nodes are processed in topological order; each link's aggregate
+    service comes from the Lindley closed form and the per-flow split
+    from :func:`_split_fifo_multi`, with the chunk engine's within-slot
+    precedence (node-local cross first, then route arrivals entering
+    here in declaration order, then forwarded streams by upstream
+    topological position).  Departure order *within* one upstream slot
+    is attributed by that precedence rather than by the chunk heap's
+    exact interleaving, so the two engines agree within one slot (the
+    same cross-engine convention the tandem fast path documents); a
+    line topology run through :func:`run_tandem_vectorized` instead is
+    byte-identical to the chunk engine's tandem.
+
+    Only FIFO nodes are supported: multi-class priority or EDF splits
+    across many routes have no closed-form attribution here — use the
+    chunk engine (:class:`repro.simulation.network.DagNetwork`) for
+    those topologies.
+    """
+    not_fifo = [n.name for n in topology.nodes if n.scheduler != "fifo"]
+    if not_fifo:
+        raise ValueError(
+            f"run_topology_vectorized supports FIFO nodes only; node(s) "
+            f"{not_fifo} use other schedulers (use the chunk engine)"
+        )
+    routes = {
+        r.name: np.asarray(route_arrivals[r.name], dtype=float)
+        for r in topology.routes
+        if r.name in route_arrivals
+    }
+    missing = [r.name for r in topology.routes if r.name not in routes]
+    if missing:
+        raise ValueError(f"missing arrival rows for route(s) {missing}")
+    cross = {
+        name: np.asarray(row, dtype=float)
+        for name, row in (cross_arrivals or {}).items()
+    }
+    unknown = set(cross) - {n.name for n in topology.nodes}
+    if unknown:
+        raise ValueError(
+            f"cross arrivals reference unknown node(s) {sorted(unknown)}"
+        )
+    lengths = {len(row) for row in routes.values()}
+    lengths |= {len(row) for row in cross.values()}
+    if len(lengths) != 1:
+        raise ValueError("all arrival arrays must have equal length")
+    n_slots = lengths.pop()
+
+    order = topology.topological_order()
+    topo_index = {name: i for i, name in enumerate(order)}
+    route_index = {r.name: i for i, r in enumerate(topology.routes)}
+    prev_hop: dict[tuple[str, str], str] = {}
+    next_hop: dict[tuple[str, str], str | None] = {}
+    for route in topology.routes:
+        for here, nxt in zip(route.path, route.path[1:]):
+            prev_hop[(nxt, route.name)] = here
+            next_hop[(here, route.name)] = nxt
+        next_hop[(route.path[-1], route.name)] = None
+
+    if obs.enabled():
+        obs.add("simulation.vectorized.topology_calls")
+        obs.add(
+            "simulation.vectorized.hop_slots", len(topology.nodes) * n_slots
+        )
+
+    route_recs: dict[str, DelayRecorder] = {}
+    cross_recs = {n.name: DelayRecorder() for n in topology.nodes}
+    backlog_recs = {n.name: BacklogRecorder() for n in topology.nodes}
+    # each route's current input stream (in the receiving node's local
+    # slot time, already shifted when forwarded)
+    stream: dict[str, np.ndarray] = {}
+
+    for name in order:
+        node = topology.node(name)
+        # (precedence-ordered) input parts of this node
+        parts: list[tuple[str, str, np.ndarray]] = []
+        if name in cross:
+            parts.append(("cross", name, cross[name]))
+        external = [
+            r for r in topology.routes
+            if r.path[0] == name and r.name in routes
+        ]
+        for route in external:
+            stream[route.name] = routes[route.name]
+            parts.append(("route", route.name, routes[route.name]))
+        arriving = sorted(
+            (
+                r.name
+                for r in topology.routes
+                if (name, r.name) in prev_hop
+            ),
+            key=lambda rn: (topo_index[prev_hop[(name, rn)]], route_index[rn]),
+        )
+        for route_name in arriving:
+            parts.append(("route", route_name, stream[route_name]))
+        if not parts:
+            continue  # node carries no traffic at all
+        length = max(len(arr) for _, _, arr in parts)
+        padded = [
+            np.concatenate([arr, np.zeros(length - len(arr))])
+            if len(arr) < length
+            else arr
+            for _, _, arr in parts
+        ]
+        total = np.sum(padded, axis=0)
+        pad = _drain_padding(total, node.capacity)
+        if pad:
+            padded = [np.concatenate([arr, np.zeros(pad)]) for arr in padded]
+            total = np.concatenate([total, np.zeros(pad)])
+        total_dep, backlog = aggregate_service(total, node.capacity)
+        dep_cums = _split_fifo_multi(padded, np.cumsum(total_dep))
+        if record_backlog:
+            backlog_recs[name] = BacklogRecorder.from_samples(backlog)
+        for (kind, flow_name, _), dep_cum in zip(parts, dep_cums):
+            dep = np.diff(dep_cum, prepend=0.0)
+            if kind == "cross":
+                cross_recs[name] = _delay_recorder(cross[name], dep)
+            elif next_hop[(name, flow_name)] is not None:
+                # store-and-forward: served fluid reaches the next node
+                # one slot later
+                stream[flow_name] = np.concatenate([[0.0], dep])
+            else:
+                route_recs[flow_name] = _delay_recorder(
+                    routes[flow_name], dep
+                )
+    for route in topology.routes:
+        route_recs.setdefault(route.name, DelayRecorder())
+    return DagResult(
+        route_delays=route_recs,
+        cross_delays=cross_recs,
+        node_backlogs=backlog_recs,
+        slots=n_slots,
+        topology=topology,
     )

@@ -1,0 +1,56 @@
+"""Feed-forward topologies: the model, route analysis, and scenarios.
+
+The :class:`Topology` data model (a validated feed-forward DAG of
+:class:`NodeSpec` nodes traversed by :class:`Route` aggregates) is the
+shared vocabulary of the analysis and simulation stacks: route
+extraction reduces any route to the per-hop setting the Section IV
+bounds consume, the simulators instantiate the same DAG as
+store-and-forward links, and the scenario builders generate the
+canonical shapes (sink tree, parking lot, fat-tree slice, random DAGs)
+the experiment sweeps explore.  The paper's Fig. 1 tandem is the
+degenerate line topology and reproduces the tandem code paths exactly.
+"""
+
+from repro.topology.model import (
+    ANALYZABLE_SCHEDULERS,
+    NODE_SCHEDULERS,
+    NodeSpec,
+    Route,
+    TandemView,
+    Topology,
+)
+from repro.topology.routes import (
+    RouteHop,
+    extract_route,
+    route_backlog_bound_mmoo,
+    route_delay_bound_mmoo,
+    route_is_homogeneous,
+)
+from repro.topology.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    fat_tree_slice,
+    parking_lot,
+    random_feedforward,
+    sink_tree,
+)
+
+__all__ = [
+    "ANALYZABLE_SCHEDULERS",
+    "NODE_SCHEDULERS",
+    "NodeSpec",
+    "Route",
+    "TandemView",
+    "Topology",
+    "RouteHop",
+    "extract_route",
+    "route_is_homogeneous",
+    "route_delay_bound_mmoo",
+    "route_backlog_bound_mmoo",
+    "SCENARIOS",
+    "build_scenario",
+    "sink_tree",
+    "parking_lot",
+    "fat_tree_slice",
+    "random_feedforward",
+]

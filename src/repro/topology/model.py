@@ -1,0 +1,402 @@
+"""Feed-forward network topologies: nodes, routes, and DAG validation.
+
+The paper's Fig. 1 tandem is one point in a much larger space: a
+feed-forward network is a DAG of store-and-forward nodes, each with its
+own capacity and scheduler, traversed by *routes* — aggregates of flows
+following a fixed node sequence.  This module is the validated data
+model that the analysis (:mod:`repro.topology.routes`) and the
+simulator (:mod:`repro.simulation.network`) both consume:
+
+* :class:`NodeSpec` — one node: capacity, scheduler (and its analysis
+  constant ``Delta_{0,c}``), and the node-local cross-traffic
+  descriptor ``n_cross`` (fresh flows that join at this node and leave
+  right after it, exactly the Fig. 1 convention);
+* :class:`Route` — a named aggregate of ``n_flows`` flows traversing a
+  node sequence (multi-hop cross traffic, e.g. the parking lot's
+  riders, is just another route);
+* :class:`Topology` — nodes plus routes, validated to be feed-forward:
+  the union of all route edges must be acyclic, with a deterministic
+  topological order.
+
+Topologies are frozen, hashable, and round-trip losslessly through
+:meth:`Topology.to_params` (plain nested tuples), so they can ride
+inside experiment sweep cells; :meth:`Topology.content_hash` is the
+canonical content key the cell cache inherits.  A tandem is the
+degenerate case — :meth:`Topology.line` builds it, and
+:meth:`Topology.as_tandem` recognizes it so fast paths (the vectorized
+tandem engine, the homogeneous bound kernels) keep applying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.utils.validation import check_int, check_positive
+
+#: Simulator scheduler names a node may carry.
+NODE_SCHEDULERS = ("fifo", "bmux", "sp", "edf", "gps")
+
+#: Schedulers with a Delta-scheduler end-to-end analysis in this repo.
+ANALYZABLE_SCHEDULERS = ("fifo", "bmux", "edf")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of a feed-forward topology.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier.
+    capacity:
+        Link rate per slot.
+    scheduler:
+        One of :data:`NODE_SCHEDULERS`.  ``sp`` and ``gps`` are
+        simulation-only (no Delta-scheduler bound here).
+    n_cross:
+        Node-local cross traffic: this many fresh flows join at this
+        node and leave right after it (the Fig. 1 convention).
+        Multi-hop cross traffic is modelled as extra :class:`Route`\\ s.
+    edf_deadline_through, edf_deadline_cross:
+        Per-node EDF deadline offsets (route traffic vs. cross traffic);
+        only used when ``scheduler == "edf"``.
+    gps_weight_through, gps_weight_cross:
+        GPS weights; only used when ``scheduler == "gps"``.
+    """
+
+    name: str
+    capacity: float
+    scheduler: str = "fifo"
+    n_cross: int = 0
+    edf_deadline_through: float = 1.0
+    edf_deadline_cross: float = 10.0
+    gps_weight_through: float = 1.0
+    gps_weight_cross: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("node name must be a non-empty string")
+        check_positive(self.capacity, "capacity")
+        if self.scheduler not in NODE_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} for node "
+                f"{self.name!r}; one of {NODE_SCHEDULERS}"
+            )
+        check_int(self.n_cross, "n_cross", minimum=0)
+        for label in ("edf_deadline_through", "edf_deadline_cross"):
+            value = getattr(self, label)
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(f"{label} must be finite >= 0, got {value!r}")
+        for label in ("gps_weight_through", "gps_weight_cross"):
+            check_positive(getattr(self, label), label)
+
+    @property
+    def delta(self) -> float:
+        """The scheduler constant ``Delta_{0,c}`` the analysis uses.
+
+        ``0`` for FIFO, ``+inf`` for blind multiplexing, and
+        ``d*_0 - d*_c`` for EDF with this node's (fixed) deadlines.
+        Raises :class:`ValueError` for ``sp``/``gps``, which have no
+        end-to-end Delta-scheduler bound in this repo.
+        """
+        if self.scheduler == "fifo":
+            return 0.0
+        if self.scheduler == "bmux":
+            return math.inf
+        if self.scheduler == "edf":
+            return self.edf_deadline_through - self.edf_deadline_cross
+        raise ValueError(
+            f"scheduler {self.scheduler!r} at node {self.name!r} has no "
+            f"Delta-scheduler analysis (analyzable: {ANALYZABLE_SCHEDULERS})"
+        )
+
+
+@dataclass(frozen=True)
+class Route:
+    """A named aggregate of flows traversing a fixed node sequence."""
+
+    name: str
+    path: tuple[str, ...]
+    n_flows: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("route name must be a non-empty string")
+        object.__setattr__(self, "path", tuple(self.path))
+        if not self.path:
+            raise ValueError(f"route {self.name!r} needs at least one node")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError(
+                f"route {self.name!r} visits a node twice: {self.path}"
+            )
+        check_int(self.n_flows, "n_flows", minimum=1)
+
+    @property
+    def hops(self) -> int:
+        return len(self.path)
+
+
+@dataclass(frozen=True)
+class TandemView:
+    """The parameters of a topology that is exactly the Fig. 1 tandem."""
+
+    route: Route
+    hops: int
+    capacity: float
+    scheduler: str
+    n_cross: tuple[int, ...]
+    edf_deadline_through: float
+    edf_deadline_cross: float
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A validated feed-forward network: nodes plus routes.
+
+    Validation (at construction):
+
+    * node and route names are unique, every route path references
+      declared nodes and visits each at most once;
+    * the union of all route edges is acyclic (feed-forward), so a
+      global topological order exists.
+
+    The instance is immutable; :meth:`topological_order` is computed
+    once and cached.
+    """
+
+    nodes: tuple[NodeSpec, ...]
+    routes: tuple[Route, ...]
+    _order: tuple[str, ...] = field(
+        init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "routes", tuple(self.routes))
+        if not self.nodes:
+            raise ValueError("a topology needs at least one node")
+        if not self.routes:
+            raise ValueError("a topology needs at least one route")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        route_names = [route.name for route in self.routes]
+        if len(set(route_names)) != len(route_names):
+            raise ValueError(f"duplicate route names: {route_names}")
+        known = set(names)
+        for route in self.routes:
+            unknown = [n for n in route.path if n not in known]
+            if unknown:
+                raise ValueError(
+                    f"route {route.name!r} references unknown node(s) "
+                    f"{unknown}; declared nodes: {sorted(known)}"
+                )
+        object.__setattr__(self, "_order", self._topological_sort())
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up a node spec by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def route(self, name: str) -> Route:
+        """Look up a route by name."""
+        for route in self.routes:
+            if route.name == name:
+                return route
+        raise KeyError(f"no route named {name!r}")
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """The directed links used by any route (sorted, deduplicated)."""
+        pairs = {
+            (a, b)
+            for route in self.routes
+            for a, b in zip(route.path, route.path[1:])
+        }
+        return tuple(sorted(pairs))
+
+    def _topological_sort(self) -> tuple[str, ...]:
+        """Deterministic topological order (Kahn; declaration-order ties).
+
+        Raises :class:`ValueError` when the route edges form a cycle —
+        the topology would not be feed-forward.
+        """
+        index = {node.name: i for i, node in enumerate(self.nodes)}
+        successors: dict[str, set[str]] = {n.name: set() for n in self.nodes}
+        indegree = {n.name: 0 for n in self.nodes}
+        for a, b in self.edges:
+            if b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+        ready = [index[n] for n, d in indegree.items() if d == 0]
+        heapq.heapify(ready)
+        order: list[str] = []
+        while ready:
+            name = self.nodes[heapq.heappop(ready)].name
+            order.append(name)
+            for succ in successors[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(ready, index[succ])
+        if len(order) != len(self.nodes):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise ValueError(
+                f"topology is not feed-forward: route edges form a cycle "
+                f"through {cyclic}"
+            )
+        return tuple(order)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Node names in a deterministic topological order."""
+        return self._order
+
+    # ------------------------------------------------------------------ #
+    # canonical content representation
+    # ------------------------------------------------------------------ #
+
+    def to_params(self) -> tuple:
+        """Plain nested tuples describing this topology losslessly.
+
+        JSON-able, hashable, and picklable, so a topology can be a
+        sweep-cell parameter; :meth:`from_params` inverts it.
+        """
+        return (
+            tuple(
+                (
+                    n.name, n.capacity, n.scheduler, n.n_cross,
+                    n.edf_deadline_through, n.edf_deadline_cross,
+                    n.gps_weight_through, n.gps_weight_cross,
+                )
+                for n in self.nodes
+            ),
+            tuple((r.name, tuple(r.path), r.n_flows) for r in self.routes),
+        )
+
+    @classmethod
+    def from_params(cls, params: Sequence) -> "Topology":
+        """Rebuild a topology from :meth:`to_params` output (tuples or
+        the JSON-decoded list form)."""
+        nodes_p, routes_p = params
+        nodes = tuple(
+            NodeSpec(
+                name=str(n[0]), capacity=float(n[1]), scheduler=str(n[2]),
+                n_cross=int(n[3]), edf_deadline_through=float(n[4]),
+                edf_deadline_cross=float(n[5]), gps_weight_through=float(n[6]),
+                gps_weight_cross=float(n[7]),
+            )
+            for n in nodes_p
+        )
+        routes = tuple(
+            Route(name=str(r[0]), path=tuple(str(p) for p in r[1]),
+                  n_flows=int(r[2]))
+            for r in routes_p
+        )
+        return cls(nodes=nodes, routes=routes)
+
+    def content_hash(self) -> str:
+        """Canonical SHA-256 of the topology content.
+
+        Stable across processes and sessions; any change to a node, a
+        route, or their order changes the hash — this is the key the
+        experiment cell cache sees.
+        """
+        payload = json.dumps(
+            {"schema": "repro.topology/1", "params": self.to_params()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # the tandem special case
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def line(
+        cls,
+        hops: int,
+        *,
+        capacity: float,
+        n_through: int,
+        n_cross: int | Sequence[int] = 0,
+        scheduler: str = "fifo",
+        edf_deadline_through: float = 1.0,
+        edf_deadline_cross: float = 10.0,
+        route_name: str = "through",
+        node_names: Iterable[str] | None = None,
+    ) -> "Topology":
+        """The Fig. 1 tandem as a topology: ``hops`` identical nodes in a
+        line, one through route over all of them, fresh node-local cross
+        traffic at every node."""
+        hops = check_int(hops, "hops", minimum=1)
+        if isinstance(n_cross, int):
+            cross_counts = (n_cross,) * hops
+        else:
+            cross_counts = tuple(int(c) for c in n_cross)
+            if len(cross_counts) != hops:
+                raise ValueError(
+                    f"n_cross needs one entry per hop: got "
+                    f"{len(cross_counts)} for {hops} hops"
+                )
+        names = (
+            tuple(node_names) if node_names is not None
+            else tuple(str(h) for h in range(hops))
+        )
+        if len(names) != hops:
+            raise ValueError(
+                f"node_names needs {hops} entries, got {len(names)}"
+            )
+        nodes = tuple(
+            NodeSpec(
+                name=names[h], capacity=capacity, scheduler=scheduler,
+                n_cross=cross_counts[h],
+                edf_deadline_through=edf_deadline_through,
+                edf_deadline_cross=edf_deadline_cross,
+            )
+            for h in range(hops)
+        )
+        route = Route(name=route_name, path=names, n_flows=n_through)
+        return cls(nodes=nodes, routes=(route,))
+
+    def as_tandem(self) -> TandemView | None:
+        """This topology's Fig. 1 tandem parameters, or ``None``.
+
+        A topology is a tandem when a single route traverses *all*
+        nodes in declaration order, all cross traffic is node-local,
+        and capacity/scheduler (and EDF deadlines) are uniform — the
+        precondition for the homogeneous analysis and the vectorized
+        tandem simulation fast path.
+        """
+        if len(self.routes) != 1:
+            return None
+        route = self.routes[0]
+        if route.path != tuple(n.name for n in self.nodes):
+            return None
+        first = self.nodes[0]
+        for node in self.nodes:
+            if (
+                node.capacity != first.capacity
+                or node.scheduler != first.scheduler
+                or node.edf_deadline_through != first.edf_deadline_through
+                or node.edf_deadline_cross != first.edf_deadline_cross
+            ):
+                return None
+        return TandemView(
+            route=route,
+            hops=len(self.nodes),
+            capacity=first.capacity,
+            scheduler=first.scheduler,
+            n_cross=tuple(n.n_cross for n in self.nodes),
+            edf_deadline_through=first.edf_deadline_through,
+            edf_deadline_cross=first.edf_deadline_cross,
+        )

@@ -1,0 +1,311 @@
+"""Scenario generators: canonical feed-forward topologies.
+
+Each builder returns a validated :class:`Topology` whose link capacities
+are sized from a *utilization* target: a node crossed by ``F`` flows of
+nominal rate ``flow_rate`` gets ``capacity = F * flow_rate /
+utilization`` (the paper's Section V accounting, generalized per node).
+Trees and random DAGs therefore have genuinely heterogeneous capacities
+— the Section IV non-homogeneous analysis applies — while the line and
+parking lot stay homogeneous.
+
+Builders:
+
+* :func:`line` — the Fig. 1 tandem (homogeneous; delegates to
+  :meth:`Topology.line`);
+* :func:`sink_tree` — a ``branching``-ary tree of ``depth`` levels
+  aggregating one route per leaf toward the sink;
+* :func:`parking_lot` — a through route over ``hops`` nodes with
+  multi-hop cross routes entering at every node and riding ``ride``
+  hops;
+* :func:`fat_tree_slice` — per-pod edge→aggregation→core paths sharing
+  the core link;
+* :func:`random_feedforward` — a seeded random DAG (edges only forward
+  in node order, hence acyclic by construction) with per-link capacity
+  degradation.
+
+:data:`SCENARIOS`/:func:`build_scenario` expose them under the CLI's
+``--topology`` names with one normalized ``size`` knob each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.model import NodeSpec, Route, Topology
+from repro.utils.validation import check_in_range, check_int, check_positive
+
+#: Per-flow nominal rate of the paper's Section V accounting (Mbps).
+DEFAULT_FLOW_RATE = 0.15
+
+#: Default utilization target of the generated links.
+DEFAULT_UTILIZATION = 0.7
+
+
+def _capacity(
+    n_flows: int, flow_rate: float, utilization: float
+) -> float:
+    """Link rate so ``n_flows`` nominal-rate flows load it to
+    ``utilization`` (at least one flow's worth for idle links)."""
+    return max(n_flows, 1) * flow_rate / utilization
+
+
+def line(
+    hops: int = 4,
+    *,
+    n_through: int = 40,
+    n_cross: int = 40,
+    utilization: float = DEFAULT_UTILIZATION,
+    flow_rate: float = DEFAULT_FLOW_RATE,
+    scheduler: str = "fifo",
+) -> Topology:
+    """The Fig. 1 tandem, capacity sized for ``utilization``."""
+    capacity = _capacity(n_through + n_cross, flow_rate, utilization)
+    return Topology.line(
+        hops, capacity=capacity, n_through=n_through, n_cross=n_cross,
+        scheduler=scheduler,
+    )
+
+
+def sink_tree(
+    depth: int = 2,
+    branching: int = 2,
+    *,
+    n_flows_per_leaf: int = 20,
+    utilization: float = DEFAULT_UTILIZATION,
+    flow_rate: float = DEFAULT_FLOW_RATE,
+    scheduler: str = "fifo",
+) -> Topology:
+    """A complete ``branching``-ary sink tree of ``depth`` levels.
+
+    One route per leaf runs to the sink, so a node ``k`` levels above
+    the leaves carries ``branching**k`` leaf aggregates — capacities
+    grow toward the sink and the routes are heterogeneous in both
+    capacity and interference (the Section IV non-homogeneous setting).
+    """
+    depth = check_int(depth, "depth", minimum=1)
+    branching = check_int(branching, "branching", minimum=1)
+    check_int(n_flows_per_leaf, "n_flows_per_leaf", minimum=1)
+    check_in_range(utilization, 0.0, 1.0, "utilization", low_open=True)
+    check_positive(flow_rate, "flow_rate")
+    nodes: list[NodeSpec] = []
+    routes: list[Route] = []
+    # level 0 = leaves, level `depth` = the sink
+    for level in range(depth + 1):
+        width = branching ** (depth - level)
+        leaves_below = branching**level
+        for i in range(width):
+            nodes.append(
+                NodeSpec(
+                    name=f"l{level}n{i}",
+                    capacity=_capacity(
+                        leaves_below * n_flows_per_leaf, flow_rate,
+                        utilization,
+                    ),
+                    scheduler=scheduler,
+                )
+            )
+    for leaf in range(branching**depth):
+        path = []
+        index = leaf
+        for level in range(depth + 1):
+            path.append(f"l{level}n{index}")
+            index //= branching
+        routes.append(
+            Route(name=f"leaf{leaf}", path=tuple(path),
+                  n_flows=n_flows_per_leaf)
+        )
+    return Topology(nodes=tuple(nodes), routes=tuple(routes))
+
+
+def parking_lot(
+    hops: int = 4,
+    ride: int = 2,
+    *,
+    n_through: int = 20,
+    n_cross: int = 20,
+    utilization: float = DEFAULT_UTILIZATION,
+    flow_rate: float = DEFAULT_FLOW_RATE,
+    scheduler: str = "fifo",
+) -> Topology:
+    """The parking-lot topology: multi-hop cross traffic on a line.
+
+    A through route crosses all ``hops`` nodes; at every node a cross
+    route of ``n_cross`` flows enters and rides ``min(ride, remaining)``
+    hops before leaving.  Unlike Fig. 1's fresh-per-node cross traffic,
+    the riders interfere at *several* consecutive nodes.  All capacities
+    are sized for the maximum occupancy, so the through route stays
+    homogeneous in capacity while its interference varies per hop.
+    """
+    hops = check_int(hops, "hops", minimum=1)
+    ride = check_int(ride, "ride", minimum=1)
+    check_int(n_through, "n_through", minimum=1)
+    check_int(n_cross, "n_cross", minimum=0)
+    names = tuple(f"n{h}" for h in range(hops))
+    occupancy = [n_through] * hops
+    routes = [Route(name="through", path=names, n_flows=n_through)]
+    if n_cross > 0:
+        for h in range(hops):
+            span = names[h : min(h + ride, hops)]
+            routes.append(
+                Route(name=f"ride{h}", path=span, n_flows=n_cross)
+            )
+            for k in range(h, min(h + ride, hops)):
+                occupancy[k] += n_cross
+    capacity = _capacity(max(occupancy), flow_rate, utilization)
+    nodes = tuple(
+        NodeSpec(name=name, capacity=capacity, scheduler=scheduler)
+        for name in names
+    )
+    return Topology(nodes=nodes, routes=tuple(routes))
+
+
+def fat_tree_slice(
+    pods: int = 2,
+    *,
+    n_flows_per_pod: int = 20,
+    utilization: float = DEFAULT_UTILIZATION,
+    flow_rate: float = DEFAULT_FLOW_RATE,
+    scheduler: str = "fifo",
+) -> Topology:
+    """An upward slice of a fat tree: edge → aggregation → core.
+
+    One route per pod climbs its edge and aggregation switch into the
+    shared core link, where all pods converge — the core runs at
+    ``pods`` times the pod capacity for the same utilization.
+    """
+    pods = check_int(pods, "pods", minimum=1)
+    check_int(n_flows_per_pod, "n_flows_per_pod", minimum=1)
+    pod_capacity = _capacity(n_flows_per_pod, flow_rate, utilization)
+    core_capacity = _capacity(
+        pods * n_flows_per_pod, flow_rate, utilization
+    )
+    nodes: list[NodeSpec] = []
+    routes: list[Route] = []
+    for pod in range(pods):
+        nodes.append(
+            NodeSpec(f"edge{pod}", pod_capacity, scheduler=scheduler)
+        )
+        nodes.append(
+            NodeSpec(f"agg{pod}", pod_capacity, scheduler=scheduler)
+        )
+        routes.append(
+            Route(
+                name=f"pod{pod}",
+                path=(f"edge{pod}", f"agg{pod}", "core"),
+                n_flows=n_flows_per_pod,
+            )
+        )
+    nodes.append(NodeSpec("core", core_capacity, scheduler=scheduler))
+    return Topology(nodes=tuple(nodes), routes=tuple(routes))
+
+
+def random_feedforward(
+    n_nodes: int = 6,
+    n_routes: int = 4,
+    seed: int = 0,
+    *,
+    n_flows: int = 20,
+    max_path: int = 4,
+    degradation: float = 0.2,
+    utilization: float = DEFAULT_UTILIZATION,
+    flow_rate: float = DEFAULT_FLOW_RATE,
+    scheduler: str = "fifo",
+) -> Topology:
+    """A seeded random feed-forward DAG with per-link degradation.
+
+    Routes pick random increasing node sequences (edges only point
+    forward in node order, so the union is acyclic by construction);
+    every link's capacity is sized for its occupancy at ``utilization``
+    and then degraded by an independent ``U(0, degradation)`` factor —
+    the heterogeneous "weak link" setting.  The effective utilization
+    stays below ``utilization / (1 - degradation)``, which the argument
+    check keeps feasible.
+    """
+    n_nodes = check_int(n_nodes, "n_nodes", minimum=2)
+    n_routes = check_int(n_routes, "n_routes", minimum=1)
+    check_int(n_flows, "n_flows", minimum=1)
+    max_path = check_int(max_path, "max_path", minimum=2)
+    check_in_range(degradation, 0.0, 1.0, "degradation", high_open=True)
+    check_in_range(utilization, 0.0, 1.0, "utilization", low_open=True)
+    if utilization / (1.0 - degradation) >= 1.0:
+        raise ValueError(
+            f"utilization {utilization:g} with degradation {degradation:g} "
+            f"can overload a degraded link (effective utilization "
+            f"{utilization / (1.0 - degradation):g} >= 1)"
+        )
+    rng = np.random.default_rng(seed)
+    occupancy = [0] * n_nodes
+    routes: list[Route] = []
+    for index in range(n_routes):
+        length = int(rng.integers(2, min(max_path, n_nodes) + 1))
+        path = sorted(rng.choice(n_nodes, size=length, replace=False))
+        for node in path:
+            occupancy[node] += n_flows
+        routes.append(
+            Route(
+                name=f"r{index}",
+                path=tuple(f"v{node}" for node in path),
+                n_flows=n_flows,
+            )
+        )
+    factors = 1.0 - rng.uniform(0.0, degradation, size=n_nodes)
+    nodes = tuple(
+        NodeSpec(
+            name=f"v{i}",
+            capacity=_capacity(occupancy[i], flow_rate, utilization)
+            * float(factors[i]),
+            scheduler=scheduler,
+        )
+        for i in range(n_nodes)
+    )
+    return Topology(nodes=nodes, routes=tuple(routes))
+
+
+def build_scenario(
+    name: str,
+    size: int,
+    *,
+    seed: int = 0,
+    utilization: float = DEFAULT_UTILIZATION,
+    n_flows: int = 20,
+    scheduler: str = "fifo",
+) -> Topology:
+    """Build a named scenario with one normalized ``size`` knob.
+
+    ``size`` maps to the scenario's natural dimension: hops for
+    ``line``/``parking-lot``, depth for ``sink-tree``, pods for
+    ``fat-tree``, node count for ``random``.
+    """
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; one of {sorted(SCENARIOS)}"
+        )
+    size = check_int(size, "size", minimum=1)
+    if name == "line":
+        return line(
+            size, n_through=n_flows, n_cross=n_flows,
+            utilization=utilization, scheduler=scheduler,
+        )
+    if name == "sink-tree":
+        return sink_tree(
+            depth=size, n_flows_per_leaf=n_flows,
+            utilization=utilization, scheduler=scheduler,
+        )
+    if name == "parking-lot":
+        return parking_lot(
+            hops=size, n_through=n_flows, n_cross=n_flows,
+            utilization=utilization, scheduler=scheduler,
+        )
+    if name == "fat-tree":
+        return fat_tree_slice(
+            pods=size, n_flows_per_pod=n_flows,
+            utilization=utilization, scheduler=scheduler,
+        )
+    return random_feedforward(
+        n_nodes=max(size, 2), seed=seed, n_flows=n_flows,
+        utilization=utilization, scheduler=scheduler,
+    )
+
+
+#: CLI scenario names, dispatched through :func:`build_scenario`.
+SCENARIOS = ("line", "sink-tree", "parking-lot", "fat-tree", "random")

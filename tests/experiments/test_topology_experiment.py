@@ -1,0 +1,120 @@
+"""Tests for the topology experiment (spec, aggregation, CLI)."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.sweep import run_sweep
+from repro.experiments.topology import (
+    BOUND_CELL_FN,
+    TRIAL_CELL_FN,
+    format_topology,
+    rows_to_topology,
+    topology_spec,
+    topology_summary,
+)
+from repro.topology import Topology, build_scenario
+
+SMALL = dict(slots=600, n_flows=5, quick=True)
+
+
+class TestTopologySpec:
+    def test_one_bound_cell_per_route_plus_trials(self):
+        topo = build_scenario("sink-tree", 2, n_flows=5)
+        spec = topology_spec("sink-tree", 2, n_trials=3, **SMALL)
+        bound_cells = [c for c in spec.cells if c.fn == BOUND_CELL_FN]
+        trial_cells = [c for c in spec.cells if c.fn == TRIAL_CELL_FN]
+        assert len(bound_cells) == len(topo.routes)
+        assert len(trial_cells) == 3
+
+    def test_topology_rides_as_plain_params(self):
+        spec = topology_spec("parking-lot", 3, **SMALL)
+        params = spec.cells[0].kwargs
+        rebuilt = Topology.from_params(params["topology"])
+        assert rebuilt == build_scenario("parking-lot", 3, n_flows=5)
+
+    def test_trial_count_only_adds_cells(self):
+        few = topology_spec("fat-tree", 2, n_trials=1, **SMALL)
+        many = topology_spec("fat-tree", 2, n_trials=3, **SMALL)
+        assert few.keys() == many.keys()[: len(few.cells)]
+
+    def test_settings_carry_content_hash(self):
+        spec = topology_spec("line", 2, **SMALL)
+        settings = dict(spec.settings)
+        topo = build_scenario("line", 2, n_flows=5)
+        assert settings["topology_hash"] == topo.content_hash()
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        spec = topology_spec("sink-tree", 1, n_trials=2, seed=3, **SMALL)
+        return run_sweep(spec).rows
+
+    def test_one_row_per_route(self, rows):
+        topo = build_scenario("sink-tree", 1, n_flows=5)
+        agg = rows_to_topology(rows)
+        assert [r.route for r in agg] == [r.name for r in topo.routes]
+        assert all(r.n_trials == 2 for r in agg)
+
+    def test_bounds_sound_on_small_scenario(self, rows):
+        agg = rows_to_topology(rows)
+        assert all(r.sound for r in agg)
+        assert all(r.bound > 0 for r in agg)
+
+    def test_summary_and_table(self, rows):
+        agg = rows_to_topology(rows)
+        summary = topology_summary(agg)
+        assert summary[0]["route"] == agg[0].route
+        assert isinstance(summary[0]["sound"], bool)
+        table = format_topology(agg)
+        assert agg[0].route in table
+
+    def test_missing_trials_raise(self, rows):
+        bound_only = [r for r in rows if r.get("kind") == "bound"]
+        with pytest.raises(ValueError, match="no trial rows"):
+            rows_to_topology(bound_only)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["topology"])
+        assert args.topology == "sink-tree"
+        assert args.size == 2
+        assert args.scheduler == "fifo"
+        assert args.engine == "auto"
+        assert args.trials == 1
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology", "--topology", "torus"])
+
+    def test_end_to_end_artifact(self, capsys, tmp_path):
+        out = tmp_path / "topo.json"
+        rc = main(
+            [
+                "topology", "--topology", "parking-lot", "--size", "2",
+                "--n-flows", "5", "--slots", "600", "--no-cache",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "through" in printed
+        artifact = json.loads(out.read_text())
+        assert artifact["meta"]["topology"] == "parking-lot"
+        summary = artifact["meta"]["summary"]
+        assert {row["route"] for row in summary} >= {"through", "ride0"}
+        assert all(row["sound"] for row in summary)
+
+    def test_warm_cache_rerun_hits_every_cell(self, capsys, tmp_path):
+        argv = [
+            "topology", "--topology", "fat-tree", "--size", "2",
+            "--n-flows", "4", "--slots", "400",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "(3 cached)" in capsys.readouterr().out

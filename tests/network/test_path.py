@@ -99,3 +99,44 @@ class TestFacade:
         add = analysis.additive_delay_bound(1e-9, gamma=0.3)
         assert net.feasible and add.feasible
         assert add.delay >= net.delay
+
+
+class TestFromSequences:
+    def test_builds_matching_sequences(self):
+        path = HeterogeneousPath.from_sequences(
+            [100.0, 90.0], [CROSS, CROSS], [0.0, math.inf]
+        )
+        assert path.hops == 2
+        assert path.nodes[1].capacity == 90.0
+        assert path.nodes[1].delta == math.inf
+
+    def test_short_capacities_named(self):
+        with pytest.raises(ValueError, match=r"capacities=1"):
+            HeterogeneousPath.from_sequences(
+                [100.0], [CROSS, CROSS], [0.0, 0.0]
+            )
+
+    def test_short_cross_named(self):
+        with pytest.raises(ValueError, match=r"cross=1"):
+            HeterogeneousPath.from_sequences(
+                [100.0, 90.0], [CROSS], [0.0, 0.0]
+            )
+
+    def test_long_deltas_names_the_others(self):
+        # deltas is longest, so capacities and cross are the mismatches
+        with pytest.raises(ValueError, match=r"capacities=2, cross=2"):
+            HeterogeneousPath.from_sequences(
+                [100.0, 90.0], [CROSS, CROSS], [0.0, 0.0, 0.0]
+            )
+
+    def test_multiple_mismatches_all_named(self):
+        with pytest.raises(
+            ValueError, match=r"capacities=1, cross=2"
+        ):
+            HeterogeneousPath.from_sequences(
+                [100.0], [CROSS, CROSS], [0.0, 0.0, 0.0]
+            )
+
+    def test_empty_sequences(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HeterogeneousPath.from_sequences([], [], [])

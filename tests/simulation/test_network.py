@@ -169,3 +169,38 @@ class TestSimulateTandemMMOO:
                 traffic=self.TRAFFIC, n_through=1, n_cross=1, hops=1,
                 capacity=1.0, slots=10, scheduler="wfq",
             )
+
+
+class TestStoreAndForwardConvention:
+    """Regression-pin the +1-slot-per-hop store-and-forward timing.
+
+    Fluid served at a node in slot ``t`` reaches the next node at slot
+    ``t + 1``, so under light load an ``H``-hop path sees exactly
+    ``H - 1`` slots of end-to-end delay.  The validation experiments'
+    ``slack_allowed = H - 1`` encodes this convention; if either engine
+    ever changes it, these tests fail before the validation suite does.
+    """
+
+    def _impulse(self, hops):
+        through = np.zeros(6)
+        through[0] = 1.0
+        cross = [np.zeros(6) for _ in range(hops)]
+        return through, cross
+
+    @pytest.mark.parametrize("hops", [1, 2, 5])
+    def test_chunk_engine_impulse_delay(self, hops):
+        through, cross = self._impulse(hops)
+        network = TandemNetwork(100.0, hops, fifo_factory)
+        rec = network.run(through, cross).through_delays
+        assert rec.count() == 1
+        assert rec.max() == float(hops - 1)
+
+    @pytest.mark.parametrize("hops", [1, 2, 5])
+    def test_vectorized_engine_impulse_delay(self, hops):
+        from repro.simulation.vectorized import run_tandem_vectorized
+
+        through, cross = self._impulse(hops)
+        rec = run_tandem_vectorized(
+            through, cross, capacity=100.0, scheduler="fifo"
+        ).through_delays
+        assert rec.max() == float(hops - 1)

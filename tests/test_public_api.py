@@ -42,6 +42,7 @@ class TestSubpackageAllsResolve:
             "repro.network",
             "repro.simulation",
             "repro.experiments",
+            "repro.topology",
             "repro.utils",
         ],
     )

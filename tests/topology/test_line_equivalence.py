@@ -1,0 +1,114 @@
+"""Property tests: a line Topology IS the tandem, bit for bit.
+
+The refactor's central promise is that the Fig. 1 tandem is the
+degenerate one-route case of the topology engine — not an approximation
+of it.  These properties pin that down:
+
+* the analytic bound of a line topology's route equals the tandem
+  analysis **bitwise** (both numeric backends);
+* a seeded topology simulation of a line produces **byte-identical**
+  delay records to :func:`simulate_tandem_mmoo` with the same seed, on
+  both engines (same RNG draw order, same within-slot offer order).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.mmoo import MMOOParameters
+from repro.network.e2e import e2e_delay_bound_mmoo
+from repro.simulation.engine import (
+    SimulationConfig,
+    simulate_tandem_mmoo,
+    simulate_topology_mmoo,
+)
+from repro.topology import Topology
+
+TRAFFIC = MMOOParameters.paper_defaults()
+CAPACITY = 100.0
+EPSILON = 1e-4
+
+#: (scheduler, analysis Delta) pairs with an end-to-end bound.
+ANALYSIS_SCHEDULERS = st.sampled_from(["fifo", "bmux", "edf"])
+
+#: Everything both simulation engines implement.
+SIM_SCHEDULERS = st.sampled_from(["fifo", "bmux", "sp", "edf"])
+
+HOPS = st.sampled_from([1, 2, 10])
+
+
+def _delta(scheduler: str) -> float:
+    return {"fifo": 0.0, "bmux": float("inf"), "edf": 1.0 - 10.0}[scheduler]
+
+
+def _records(recorder) -> tuple[list, list]:
+    return recorder._delays, recorder._weights
+
+
+class TestBoundEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(scheduler=ANALYSIS_SCHEDULERS, hops=HOPS,
+           backend=st.sampled_from(["numpy", "scalar"]))
+    def test_line_bound_bitwise_equals_tandem(self, scheduler, hops, backend):
+        from repro.topology.routes import route_delay_bound_mmoo
+
+        topo = Topology.line(
+            hops, capacity=CAPACITY, n_through=150, n_cross=150,
+            scheduler=scheduler,
+        )
+        via_topology = route_delay_bound_mmoo(
+            topo, "through", TRAFFIC, EPSILON,
+            s_grid=6, gamma_grid=6, backend=backend,
+        )
+        direct = e2e_delay_bound_mmoo(
+            TRAFFIC, 150, 150, hops, CAPACITY, _delta(scheduler), EPSILON,
+            s_grid=6, gamma_grid=6, backend=backend,
+        )
+        assert via_topology.delay == direct.delay
+        assert via_topology.sigma == direct.sigma
+        assert via_topology.gamma == direct.gamma
+        assert via_topology.alpha == direct.alpha
+        assert via_topology.x == direct.x
+        assert via_topology.thetas == direct.thetas
+
+
+class TestSimulationEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(scheduler=SIM_SCHEDULERS, hops=HOPS,
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_chunk_rows_byte_identical(self, scheduler, hops, seed):
+        self._assert_identical(scheduler, hops, seed, engine="chunk")
+
+    @settings(max_examples=15, deadline=None)
+    @given(scheduler=SIM_SCHEDULERS, hops=HOPS,
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_vectorized_rows_byte_identical(self, scheduler, hops, seed):
+        self._assert_identical(scheduler, hops, seed, engine="vectorized")
+
+    @staticmethod
+    def _assert_identical(scheduler, hops, seed, *, engine):
+        slots = 300
+        n = 40  # flows per aggregate; utilization ~0.12 both sides
+        config = SimulationConfig(
+            traffic=TRAFFIC, n_through=n, n_cross=n, hops=hops,
+            capacity=CAPACITY, slots=slots, scheduler=scheduler,
+            seed=seed, engine=engine,
+        )
+        tandem = simulate_tandem_mmoo(config)
+        topo = Topology.line(
+            hops, capacity=CAPACITY, n_through=n, n_cross=n,
+            scheduler=scheduler,
+        )
+        dag = simulate_topology_mmoo(
+            topo, TRAFFIC, slots, seed, engine=engine
+        )
+        assert _records(dag.route_delays["through"]) == _records(
+            tandem.through_delays
+        )
+        for h in range(hops):
+            assert _records(dag.cross_delays[str(h)]) == _records(
+                tandem.cross_delays[h]
+            )

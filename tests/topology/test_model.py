@@ -1,0 +1,194 @@
+"""Tests for the feed-forward topology data model."""
+
+import math
+
+import pytest
+
+from repro.topology import NodeSpec, Route, Topology
+
+
+def diamond() -> Topology:
+    """Two disjoint branches merging into a shared sink."""
+    nodes = (
+        NodeSpec("a", 10.0),
+        NodeSpec("b", 20.0),
+        NodeSpec("sink", 30.0, n_cross=2),
+    )
+    routes = (
+        Route("left", ("a", "sink"), n_flows=3),
+        Route("right", ("b", "sink"), n_flows=4),
+    )
+    return Topology(nodes=nodes, routes=routes)
+
+
+class TestNodeSpec:
+    def test_delta_per_scheduler(self):
+        assert NodeSpec("n", 1.0, scheduler="fifo").delta == 0.0
+        assert NodeSpec("n", 1.0, scheduler="bmux").delta == math.inf
+        edf = NodeSpec(
+            "n", 1.0, scheduler="edf",
+            edf_deadline_through=2.0, edf_deadline_cross=7.0,
+        )
+        assert edf.delta == -5.0
+
+    @pytest.mark.parametrize("scheduler", ["sp", "gps"])
+    def test_delta_rejects_unanalyzable(self, scheduler):
+        with pytest.raises(ValueError, match="no.*Delta-scheduler analysis"):
+            NodeSpec("n", 1.0, scheduler=scheduler).delta
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("", 1.0)
+        with pytest.raises(ValueError):
+            NodeSpec("n", 0.0)
+        with pytest.raises(ValueError):
+            NodeSpec("n", 1.0, scheduler="wfq")
+        with pytest.raises(ValueError):
+            NodeSpec("n", 1.0, n_cross=-1)
+        with pytest.raises(ValueError):
+            NodeSpec("n", 1.0, edf_deadline_through=-1.0)
+        with pytest.raises(ValueError):
+            NodeSpec("n", 1.0, gps_weight_cross=0.0)
+
+
+class TestRoute:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Route("r", ())
+        with pytest.raises(ValueError, match="visits a node twice"):
+            Route("r", ("a", "b", "a"))
+        with pytest.raises(ValueError):
+            Route("r", ("a",), n_flows=0)
+
+    def test_hops(self):
+        assert Route("r", ("a", "b", "c")).hops == 3
+
+
+class TestTopologyValidation:
+    def test_duplicate_node_names(self):
+        with pytest.raises(ValueError, match="duplicate node names"):
+            Topology(
+                nodes=(NodeSpec("a", 1.0), NodeSpec("a", 2.0)),
+                routes=(Route("r", ("a",)),),
+            )
+
+    def test_duplicate_route_names(self):
+        with pytest.raises(ValueError, match="duplicate route names"):
+            Topology(
+                nodes=(NodeSpec("a", 1.0),),
+                routes=(Route("r", ("a",)), Route("r", ("a",))),
+            )
+
+    def test_unknown_node_reference(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            Topology(
+                nodes=(NodeSpec("a", 1.0),),
+                routes=(Route("r", ("a", "ghost")),),
+            )
+
+    def test_cycle_rejected(self):
+        nodes = (NodeSpec("a", 1.0), NodeSpec("b", 1.0))
+        routes = (
+            Route("fwd", ("a", "b")),
+            Route("bwd", ("b", "a")),
+        )
+        with pytest.raises(ValueError, match="not feed-forward"):
+            Topology(nodes=nodes, routes=routes)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            Topology(nodes=(), routes=(Route("r", ("a",)),))
+        with pytest.raises(ValueError):
+            Topology(nodes=(NodeSpec("a", 1.0),), routes=())
+
+
+class TestTopologyStructure:
+    def test_lookups(self):
+        topo = diamond()
+        assert topo.node("b").capacity == 20.0
+        assert topo.route("left").n_flows == 3
+        with pytest.raises(KeyError):
+            topo.node("ghost")
+        with pytest.raises(KeyError):
+            topo.route("ghost")
+
+    def test_edges_sorted_dedup(self):
+        topo = diamond()
+        assert topo.edges == (("a", "sink"), ("b", "sink"))
+
+    def test_topological_order_deterministic(self):
+        # sources come before the sink; declaration order breaks ties
+        assert diamond().topological_order() == ("a", "b", "sink")
+
+    def test_order_respects_edges_not_declaration(self):
+        nodes = (NodeSpec("late", 1.0), NodeSpec("early", 1.0))
+        routes = (Route("r", ("early", "late")),)
+        topo = Topology(nodes=nodes, routes=routes)
+        assert topo.topological_order() == ("early", "late")
+
+
+class TestParamsRoundTrip:
+    def test_to_from_params(self):
+        topo = diamond()
+        rebuilt = Topology.from_params(topo.to_params())
+        assert rebuilt == topo
+        assert rebuilt.content_hash() == topo.content_hash()
+
+    def test_from_json_decoded_lists(self):
+        import json
+
+        topo = diamond()
+        decoded = json.loads(json.dumps(topo.to_params()))
+        assert Topology.from_params(decoded) == topo
+
+    def test_content_hash_sensitivity(self):
+        base = diamond().content_hash()
+        changed = Topology(
+            nodes=(
+                NodeSpec("a", 10.0),
+                NodeSpec("b", 20.0),
+                NodeSpec("sink", 30.0, n_cross=3),  # one more cross flow
+            ),
+            routes=(
+                Route("left", ("a", "sink"), n_flows=3),
+                Route("right", ("b", "sink"), n_flows=4),
+            ),
+        )
+        assert changed.content_hash() != base
+        assert len(base) == 64  # sha256 hex
+
+
+class TestTandemSpecialCase:
+    def test_line_roundtrips_as_tandem(self):
+        topo = Topology.line(
+            3, capacity=50.0, n_through=5, n_cross=(1, 2, 3),
+            scheduler="edf",
+        )
+        view = topo.as_tandem()
+        assert view is not None
+        assert view.hops == 3
+        assert view.capacity == 50.0
+        assert view.scheduler == "edf"
+        assert view.n_cross == (1, 2, 3)
+        assert view.route.n_flows == 5
+
+    def test_line_validation(self):
+        with pytest.raises(ValueError, match="one entry per hop"):
+            Topology.line(3, capacity=1.0, n_through=1, n_cross=(1, 2))
+        with pytest.raises(ValueError, match="node_names"):
+            Topology.line(
+                2, capacity=1.0, n_through=1, node_names=("only",)
+            )
+
+    def test_multi_route_is_not_tandem(self):
+        assert diamond().as_tandem() is None
+
+    def test_partial_route_is_not_tandem(self):
+        nodes = (NodeSpec("a", 1.0), NodeSpec("b", 1.0))
+        topo = Topology(nodes=nodes, routes=(Route("r", ("a",)),))
+        assert topo.as_tandem() is None
+
+    def test_nonuniform_capacity_is_not_tandem(self):
+        nodes = (NodeSpec("a", 1.0), NodeSpec("b", 2.0))
+        topo = Topology(nodes=nodes, routes=(Route("r", ("a", "b")),))
+        assert topo.as_tandem() is None

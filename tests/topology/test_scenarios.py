@@ -1,0 +1,108 @@
+"""Tests for the scenario generators."""
+
+import pytest
+
+from repro.topology import (
+    SCENARIOS,
+    Topology,
+    build_scenario,
+    extract_route,
+    fat_tree_slice,
+    parking_lot,
+    random_feedforward,
+    sink_tree,
+)
+from repro.topology.scenarios import DEFAULT_FLOW_RATE, line
+
+
+class TestLine:
+    def test_is_tandem(self):
+        topo = line(4, n_through=10, n_cross=10, utilization=0.5)
+        view = topo.as_tandem()
+        assert view is not None
+        assert view.hops == 4
+        # 20 flows at 0.15 loading to 50% -> capacity 6
+        assert view.capacity == pytest.approx(20 * DEFAULT_FLOW_RATE / 0.5)
+
+
+class TestSinkTree:
+    def test_shape_and_capacities(self):
+        topo = sink_tree(depth=2, branching=2, n_flows_per_leaf=5)
+        # 4 leaves + 2 mid + 1 sink
+        assert len(topo.nodes) == 7
+        assert len(topo.routes) == 4
+        sink = topo.node("l2n0")
+        leaf = topo.node("l0n0")
+        # the sink carries all 4 leaf aggregates
+        assert sink.capacity == pytest.approx(4 * leaf.capacity)
+
+    def test_routes_reach_sink(self):
+        topo = sink_tree(depth=3, branching=2)
+        for route in topo.routes:
+            assert route.path[-1] == "l3n0"
+            assert len(route.path) == 4
+
+    def test_interference_grows_toward_sink(self):
+        topo = sink_tree(depth=2, branching=2, n_flows_per_leaf=5)
+        hops = extract_route(topo, "leaf0")
+        assert [h.n_interfering for h in hops] == [0, 5, 15]
+
+
+class TestParkingLot:
+    def test_riders_span_and_leave(self):
+        topo = parking_lot(hops=4, ride=2, n_through=3, n_cross=2)
+        assert topo.route("ride0").path == ("n0", "n1")
+        assert topo.route("ride3").path == ("n3",)  # clipped at the end
+        hops = extract_route(topo, "through")
+        # riders 0..3 each cover min(ride, remaining) consecutive nodes
+        assert [h.n_interfering for h in hops] == [2, 4, 4, 4]
+
+    def test_no_cross(self):
+        topo = parking_lot(hops=3, n_cross=0)
+        assert len(topo.routes) == 1
+
+
+class TestFatTreeSlice:
+    def test_core_shared(self):
+        topo = fat_tree_slice(pods=3, n_flows_per_pod=4)
+        assert len(topo.nodes) == 7
+        core = topo.node("core")
+        edge = topo.node("edge0")
+        assert core.capacity == pytest.approx(3 * edge.capacity)
+        hops = extract_route(topo, "pod0")
+        assert [h.n_interfering for h in hops] == [0, 0, 8]
+
+
+class TestRandomFeedforward:
+    def test_deterministic_in_seed(self):
+        a = random_feedforward(seed=3)
+        b = random_feedforward(seed=3)
+        assert a.content_hash() == b.content_hash()
+        c = random_feedforward(seed=4)
+        assert c.content_hash() != a.content_hash()
+
+    def test_acyclic_by_construction(self):
+        for seed in range(10):
+            topo = random_feedforward(
+                n_nodes=8, n_routes=6, seed=seed, degradation=0.25
+            )
+            assert isinstance(topo, Topology)  # construction validates
+
+    def test_overloadable_settings_rejected(self):
+        with pytest.raises(ValueError, match="overload"):
+            random_feedforward(utilization=0.9, degradation=0.2)
+
+
+class TestBuildScenario:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_all_scenarios_build(self, name):
+        topo = build_scenario(name, 2, n_flows=4)
+        assert isinstance(topo, Topology)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("moebius", 2)
+
+    def test_scheduler_propagates(self):
+        topo = build_scenario("parking-lot", 3, scheduler="bmux")
+        assert all(n.scheduler == "bmux" for n in topo.nodes)
