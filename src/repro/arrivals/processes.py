@@ -104,6 +104,7 @@ def mmoo_on_intervals(
     rng: np.random.Generator,
     *,
     stationary_start: bool = True,
+    initial_on: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """ON intervals of ``n_flows`` independent MMOO chains.
 
@@ -111,11 +112,24 @@ def mmoo_on_intervals(
     one-past-last ON slot of every ON sojourn intersecting
     ``[0, n_slots)``, with ends clipped to ``n_slots``.  A flow emits
     ``params.peak`` in every slot of each of its intervals.
+
+    ``initial_on`` pins every flow's slot-0 state explicitly (a boolean
+    array of length ``n_flows``), overriding ``stationary_start``.  By
+    memorylessness the residual first sojourn is geometric given the
+    slot-0 state, so conditioning on explicit initial states composes
+    exactly with the event-driven sampler — the importance sampler uses
+    this to resume a chain mid-path from known per-flow states.
     """
     n_flows = check_int(n_flows, "n_flows", minimum=1)
     n_slots = check_int(n_slots, "n_slots", minimum=1)
     p12, p21 = params.p12, params.p21
-    if stationary_start:
+    if initial_on is not None:
+        if initial_on.shape != (n_flows,):
+            raise ValueError(
+                f"initial_on must have shape ({n_flows},), got {initial_on.shape}"
+            )
+        state_on = initial_on.astype(bool)
+    elif stationary_start:
         state_on = rng.random(n_flows) < params.on_probability
     else:
         state_on = np.zeros(n_flows, dtype=bool)
@@ -168,10 +182,22 @@ def mmoo_aggregate_arrivals(
     _, starts, ends = mmoo_on_intervals(
         params, n_flows, n_slots, rng, stationary_start=stationary_start
     )
+    return intervals_to_aggregate(starts, ends, n_slots, params.peak)
+
+
+def intervals_to_aggregate(
+    starts: np.ndarray, ends: np.ndarray, n_slots: int, peak: float
+) -> np.ndarray:
+    """Scatter ON intervals into a per-slot aggregate arrival array.
+
+    Inverse of nothing in particular — the shared scatter step of
+    :func:`mmoo_aggregate_arrivals` and the importance sampler, which
+    needs the intervals *and* the aggregate of the same sample path.
+    """
     delta = np.zeros(n_slots + 1)
     np.add.at(delta, starts, 1.0)
-    np.add.at(delta, ends, -1.0)
-    return params.peak * np.cumsum(delta[:n_slots])
+    np.add.at(delta, np.minimum(ends, n_slots), -1.0)
+    return peak * np.cumsum(delta[:n_slots])
 
 
 def mmoo_per_flow_arrivals(

@@ -19,12 +19,16 @@ the infimum in Eq. (33) may be taken over unconstrained splits.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.algebra.functions import PiecewiseLinear
 from repro.utils.numeric import weighted_union_bound_constant
 from repro.utils.validation import check_positive, check_probability
+
+#: Largest exponent ``math.exp`` accepts without overflowing a double.
+_MAX_EXP = math.log(sys.float_info.max)
 
 
 @dataclass(frozen=True)
@@ -49,25 +53,50 @@ class ExponentialBound:
         check_positive(self.decay, "decay")
 
     def __call__(self, sigma: float) -> float:
-        """Raw bound value (may exceed 1; see :meth:`probability`)."""
-        return self.prefactor * math.exp(-self.decay * sigma)
+        """Raw bound value (may exceed 1; see :meth:`probability`).
+
+        Evaluated in log space so that deeply negative ``sigma`` returns
+        ``inf`` instead of overflowing ``math.exp``.
+        """
+        if self.prefactor == 0.0:
+            return 0.0
+        exponent = math.log(self.prefactor) - self.decay * sigma
+        if exponent > _MAX_EXP:
+            return math.inf
+        return math.exp(exponent)
 
     def probability(self, sigma: float) -> float:
-        """The bound clipped to a valid probability in [0, 1]."""
-        return min(1.0, self(sigma))
+        """The bound clipped to a valid probability in [0, 1].
+
+        For ``sigma`` below the prefactor knee ``ln(M)/alpha`` the raw
+        bound exceeds 1 and this clips to exactly 1.0 — including deeply
+        negative ``sigma`` where the raw value overflows to ``inf``.
+        """
+        if self.prefactor == 0.0:
+            return 0.0
+        if math.log(self.prefactor) - self.decay * sigma >= 0.0:
+            return 1.0
+        return self(sigma)
 
     def inverse(self, epsilon: float) -> float:
-        """Smallest ``sigma`` with ``eps(sigma) <= epsilon``.
+        """Smallest ``sigma >= 0`` with ``eps(sigma) <= epsilon``.
 
         This is the violation threshold used when a target violation
         probability is prescribed (e.g. ``1e-9`` in the paper's examples).
+        A deterministic bound (``M = 0``) returns 0 for *any* epsilon,
+        including 0; otherwise ``epsilon = 0`` has no finite threshold
+        and raises.  Computed as ``(ln M - ln eps)/alpha`` so extreme
+        epsilon (denormals, huge prefactors) cannot overflow the ratio
+        ``M/eps``.
         """
         check_probability(epsilon, "epsilon")
-        if epsilon == 0.0:
-            raise ValueError("epsilon must be > 0 for a finite threshold")
         if self.prefactor == 0.0:
             return 0.0
-        return max(0.0, math.log(self.prefactor / epsilon) / self.decay)
+        if epsilon == 0.0:
+            raise ValueError("epsilon must be > 0 for a finite threshold")
+        return max(
+            0.0, (math.log(self.prefactor) - math.log(epsilon)) / self.decay
+        )
 
     def is_deterministic(self) -> bool:
         """True when the bound is identically zero (never violated)."""

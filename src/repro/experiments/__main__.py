@@ -52,8 +52,11 @@ from repro.experiments.topology import (
     topology_summary,
 )
 from repro.experiments.validation import (
+    format_rare_validation,
     format_validation,
+    rare_validation_summary,
     rows_to_validation,
+    run_rare_validation,
     validation_spec,
     validation_summary,
 )
@@ -151,6 +154,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="vectorized",
         help="simulation engine: the vectorized fluid fast path "
         "(default) or the exact chunk-level simulator",
+    )
+    pv.add_argument(
+        "--method", choices=("naive", "importance"), default="naive",
+        help="trial estimator: 'naive' compares the simulated "
+        "(1-eps)-quantile against the bound (default); 'importance' "
+        "estimates P(delay > bound) directly by exponential tilting "
+        "(see repro.simulation.rare) — the only way to reach "
+        "production epsilons like 1e-6",
+    )
+    pv.add_argument(
+        "--ci-target", type=float, default=0.25, metavar="R",
+        help="importance method only: keep adding trial batches per "
+        "grid point until the 95%% relative CI half-width of the tail "
+        "estimate reaches R (default: 0.25); replaces the fixed "
+        "--trials count",
+    )
+    pv.add_argument(
+        "--batch-trials", type=int, default=100, metavar="N",
+        help="importance method only: trials per adaptive batch "
+        "(default: 100); batches are prefix-stable slices of the "
+        "per-seed sequence, so cached batch cells survive target "
+        "changes",
+    )
+    pv.add_argument(
+        "--max-batches", type=int, default=25, metavar="N",
+        help="importance method only: per-point batch cap for the "
+        "adaptive loop (default: 25)",
     )
     _add_common(pv)
 
@@ -272,6 +302,9 @@ def _run(args) -> int:
     executor = make_executor(args.jobs)
     cache = None if args.no_cache else CellCache(args.cache_dir)
 
+    if args.command == "validation" and args.method == "importance":
+        return _run_rare(args, executor, cache)
+
     spec = _build_spec(args)
     with obs.trace(f"cli.{args.command}"):
         result = run_sweep(spec, executor=executor, cache=cache)
@@ -334,6 +367,78 @@ def _run(args) -> int:
             meta["engine"] = args.engine
             meta["summary"] = topology_summary(topology_rows)
         artifact = result.to_artifact(meta=meta)
+        if args.trace:
+            artifact["metrics"] = obs.snapshot()
+        write_json_artifact(args.json, artifact)
+        print(f"wrote {args.json}")
+    return rc
+
+
+def _run_rare(args, executor, cache) -> int:
+    """The ``validation --method importance`` path.
+
+    Two-phase and adaptive (see
+    :func:`repro.experiments.validation.run_rare_validation`), so it
+    does not fit the single-sweep flow of :func:`_run`; the JSON
+    artifact carries the raw batch rows plus the aggregated summary
+    under ``meta.summary`` like the naive validation artifact.
+    """
+    with obs.trace("cli.validation.rare"):
+        result = run_rare_validation(
+            hops=tuple(args.hops),
+            utilization=args.utilization,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            batch_trials=args.batch_trials,
+            ci_target=args.ci_target,
+            max_batches=args.max_batches,
+            engine=args.engine,
+            quick=not args.full,
+            backend=args.backend,
+            executor=executor,
+            cache=cache,
+        )
+    print(format_rare_validation(result.rows))
+    print(
+        f"[validation-rare] {result.cells} cells "
+        f"({result.cached_cells} cached), "
+        f"{result.computed_wall_time_s:.2f}s cell compute time, "
+        f"jobs={args.jobs}"
+    )
+    summary = rare_validation_summary(result.rows)
+    rc = 0 if all(row.sound for row in result.rows) else 1
+
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(dict_rows_to_csv(summary))
+        print(f"wrote {args.csv}")
+    if args.json:
+        artifact = {
+            "name": "validation-rare",
+            "settings": {
+                "hops": list(args.hops),
+                "utilization": args.utilization,
+                "epsilon": args.epsilon,
+                "ci_target": args.ci_target,
+                "batch_trials": args.batch_trials,
+                "max_batches": args.max_batches,
+                "quick": not args.full,
+                "backend": args.backend,
+            },
+            "n_cells": result.cells,
+            "cached_cells": result.cached_cells,
+            "computed_wall_time_s": result.computed_wall_time_s,
+            "rows": result.raw_rows,
+            "meta": {
+                "command": args.command,
+                "method": args.method,
+                "jobs": args.jobs,
+                "seed": args.seed,
+                "engine": args.engine,
+                "trace": args.trace,
+                "summary": summary,
+            },
+        }
         if args.trace:
             artifact["metrics"] = obs.snapshot()
         write_json_artifact(args.json, artifact)

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.config import (
     DEFAULT_BACKEND,
     SCHEDULER_MAP,
@@ -359,6 +360,402 @@ def run_validation(
     )
     result = run_sweep(spec, executor=executor, cache=cache)
     return rows_to_validation(result.rows)
+
+
+RARE_BATCH_CELL_FN = "repro.experiments.validation:rare_validation_batch_cell"
+
+#: Batch cells per point the adaptive loop may run before giving up on
+#: the CI target (a safety valve, not a tuning knob).
+DEFAULT_MAX_BATCHES = 25
+
+
+@dataclass(frozen=True)
+class RareValidationRow:
+    """One rare-event grid point: analytic bound vs. weighted tail estimate.
+
+    The estimand is ``P(delay > bound + slack)`` under the base traffic
+    law, estimated by importance sampling
+    (:mod:`repro.simulation.rare`).  The bound is *sound* when the
+    estimate does not statistically refute ``P <= epsilon`` — i.e. when
+    the asymptotic 95% lower confidence limit stays at or below the
+    target epsilon.
+    """
+
+    scheduler: str
+    hops: int
+    utilization: float
+    epsilon: float
+    bound: float
+    threshold: float
+    probability: float
+    ci_low: float
+    ci_high: float
+    boot_ci_low: float
+    boot_ci_high: float
+    rel_half_width: float
+    n_trials: int
+    n_batches: int
+    hit_rate: float
+    variance_reduction: float
+    log_weight_std: float
+    slots: int
+    seed: int
+    engine: str = "vectorized"
+
+    @property
+    def sound(self) -> bool:
+        """Is ``P(delay > bound) <= epsilon`` statistically tenable?"""
+        return self.ci_low <= self.epsilon + _SOUND_EPS
+
+
+def rare_validation_batch_cell(
+    *,
+    scheduler: str,
+    hops: int,
+    utilization: float,
+    epsilon: float,
+    threshold: float,
+    slots: int,
+    seed: int,
+    batch: int,
+    batch_trials: int,
+    engine: str,
+    traffic: tuple,
+    capacity: float,
+) -> dict:
+    """One batch of importance-sampled trials of one (scheduler, H) point.
+
+    ``seed`` is the *root* seed; the batch runs trials
+    ``[batch * batch_trials, (batch + 1) * batch_trials)`` of the
+    prefix-stable seed sequence, so the adaptive loop extending the
+    trial count only adds cells — earlier batches stay cached, and the
+    estimate over any trial prefix is independent of how many batches
+    eventually ran.
+    """
+    from repro.simulation.rare import (
+        TiltedMMOO,
+        simulate_tandem_mmoo_rare,
+        solve_lundberg_tilt,
+    )
+
+    setting = setting_from_params(traffic, capacity, epsilon)
+    sim_name, _, edf_deadlines = SCHEDULER_MAP[scheduler]
+    n_half = _n_half(traffic, capacity, epsilon, utilization)
+    tilted = TiltedMMOO.from_tilt(
+        setting.traffic,
+        solve_lundberg_tilt(setting.traffic, 2 * n_half, setting.capacity),
+    )
+    config_kwargs = {}
+    if edf_deadlines is not None:
+        config_kwargs = {
+            "edf_deadline_through": edf_deadlines[0],
+            "edf_deadline_cross": edf_deadlines[1],
+        }
+    seeds = spawn_trial_seeds(seed, (batch + 1) * batch_trials)[
+        batch * batch_trials:
+    ]
+    log_weights: list[float] = []
+    exceed_fractions: list[float] = []
+    taus: list[int] = []
+    for trial_seed in seeds:
+        config = SimulationConfig(
+            traffic=setting.traffic, n_through=n_half, n_cross=n_half,
+            hops=hops, capacity=setting.capacity, slots=slots,
+            scheduler=sim_name, seed=trial_seed, engine=engine,
+            **config_kwargs,
+        )
+        trial = simulate_tandem_mmoo_rare(config, threshold, tilted=tilted)
+        log_weights.append(trial.log_weight)
+        exceed_fractions.append(
+            trial.result.through_delays.exceed_fraction(threshold)
+        )
+        taus.append(trial.tau)
+    return {
+        "rows": [
+            {
+                "kind": "rare_batch",
+                "scheduler": scheduler,
+                "hops": hops,
+                "utilization": utilization,
+                "batch": batch,
+                "threshold": threshold,
+                "slots": slots,
+                "seed": seed,
+                "engine": engine,
+                "log_weights": log_weights,
+                "exceed_fractions": exceed_fractions,
+                "taus": taus,
+                "trial_seeds": [int(s) for s in seeds],
+            }
+        ],
+        "diagnostics": {
+            "tilt": tilted.tilt,
+            "tilted_p11": tilted.params.p11,
+            "tilted_p22": tilted.params.p22,
+            "mean_tau": float(np.mean(taus)),
+        },
+    }
+
+
+def rows_to_rare_validation(
+    rows: Sequence[dict], *, epsilon: float
+) -> list[RareValidationRow]:
+    """Aggregate bound + rare-batch sweep rows into rare validation rows.
+
+    Batches join on (scheduler, hops) and concatenate in batch order, so
+    the estimate equals one long prefix-stable trial sequence no matter
+    how the adaptive loop split it.
+    """
+    from repro.simulation.rare import estimate_tail_from_arrays
+
+    bounds: dict[tuple[str, int], dict] = {}
+    batches: dict[tuple[str, int], list[dict]] = {}
+    order: list[tuple[str, int]] = []
+    for row in rows:
+        key = (str(row["scheduler"]), int(row["hops"]))
+        if row.get("kind") == "rare_batch":
+            batches.setdefault(key, []).append(row)
+        elif row.get("kind") == "bound" or "bound" in row:
+            if key not in bounds:
+                order.append(key)
+            bounds[key] = row
+
+    out: list[RareValidationRow] = []
+    for key in order:
+        bound_row = bounds[key]
+        batch_rows = sorted(
+            batches.get(key, []), key=lambda r: int(r["batch"])
+        )
+        if not batch_rows:
+            raise ValueError(f"no rare batches for validation point {key}")
+        log_weights = [
+            w for r in batch_rows for w in r["log_weights"]
+        ]
+        exceed_fractions = [
+            f for r in batch_rows for f in r["exceed_fractions"]
+        ]
+        estimate = estimate_tail_from_arrays(log_weights, exceed_fractions)
+        out.append(
+            RareValidationRow(
+                scheduler=key[0],
+                hops=key[1],
+                utilization=float(bound_row["utilization"]),
+                epsilon=epsilon,
+                bound=float(bound_row["bound"]),
+                threshold=float(batch_rows[0]["threshold"]),
+                probability=estimate.probability,
+                ci_low=estimate.ci_low,
+                ci_high=estimate.ci_high,
+                boot_ci_low=estimate.boot_ci_low,
+                boot_ci_high=estimate.boot_ci_high,
+                rel_half_width=estimate.rel_half_width,
+                n_trials=estimate.n_trials,
+                n_batches=len(batch_rows),
+                hit_rate=estimate.hit_rate,
+                variance_reduction=estimate.variance_reduction,
+                log_weight_std=estimate.log_weight_std,
+                slots=int(batch_rows[0]["slots"]),
+                seed=int(batch_rows[0]["seed"]),
+                engine=str(batch_rows[0]["engine"]),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class RareValidationResult:
+    """Outcome of the two-phase adaptive rare-event validation."""
+
+    rows: list[RareValidationRow]
+    raw_rows: list[dict]
+    cells: int
+    cached_cells: int
+    computed_wall_time_s: float
+
+
+def run_rare_validation(
+    *,
+    schedulers: Sequence[str] = ("FIFO", "BMUX", "EDF"),
+    hops: Sequence[int] = (1,),
+    utilization: float = 0.90,
+    epsilon: float = 1e-6,
+    seed: int = 5,
+    batch_trials: int = 100,
+    ci_target: float = 0.25,
+    max_batches: int = DEFAULT_MAX_BATCHES,
+    engine: str = "vectorized",
+    setting: PaperSetting | None = None,
+    quick: bool = True,
+    backend: str = DEFAULT_BACKEND,
+    executor=None,
+    cache=None,
+) -> RareValidationResult:
+    """Bound-vs-tail comparison with adaptive trial allocation.
+
+    Phase 1 computes the analytic bounds (one cached bound cell per
+    point, shared with the naive validation grid).  Phase 2 runs
+    importance-sampled trial batches per point — all points still short
+    of the CI target fan out together through the executor each round —
+    until the 95% relative CI half-width of every point's tail estimate
+    reaches ``ci_target`` or the point exhausts ``max_batches``.  The
+    trial schedule is deterministic: batch ``b`` always runs seeds
+    ``[b * batch_trials, (b + 1) * batch_trials)`` of the prefix-stable
+    sequence, so results are independent of the executor and fully
+    cache-reusable across runs with different targets.
+    """
+    from repro.simulation.rare import (
+        TiltedMMOO,
+        solve_lundberg_tilt,
+        suggest_rare_slots,
+    )
+
+    setting = setting or paper_setting()
+    params = setting_to_params(setting)
+    shared = {
+        "traffic": params["traffic"],
+        "capacity": params["capacity"],
+        "utilization": utilization,
+        "epsilon": epsilon,
+    }
+    bound_cells = [
+        Cell.make(
+            BOUND_CELL_FN, scheduler=scheduler, hops=h,
+            backend=backend, **shared, **grids(quick),
+        )
+        for scheduler in schedulers
+        for h in hops
+    ]
+    bound_spec = SweepSpec.build(
+        "validation-rare", bound_cells,
+        settings={"quick": quick, **shared}, x_label="H",
+    )
+    bound_result = run_sweep(bound_spec, executor=executor, cache=cache)
+    raw_rows = list(bound_result.rows)
+    cells = len(bound_result.cells)
+    cached = bound_result.cached_cells
+    wall = bound_result.computed_wall_time_s
+
+    n_half = _n_half(
+        params["traffic"], params["capacity"], epsilon, utilization
+    )
+    tilted = TiltedMMOO.from_tilt(
+        setting.traffic,
+        solve_lundberg_tilt(setting.traffic, 2 * n_half, setting.capacity),
+    )
+    points: dict[tuple[str, int], dict] = {}
+    for row in raw_rows:
+        key = (str(row["scheduler"]), int(row["hops"]))
+        threshold = float(row["bound"]) + float(row["slack_allowed"])
+        points[key] = {
+            "threshold": threshold,
+            "slots": suggest_rare_slots(
+                tilted, 2 * n_half, setting.capacity, threshold
+            ),
+            "batches": 0,
+        }
+
+    pending = set(points)
+    round_index = 0
+    while pending:
+        round_cells = []
+        for key in sorted(pending):
+            point = points[key]
+            round_cells.append(
+                Cell.make(
+                    RARE_BATCH_CELL_FN,
+                    scheduler=key[0], hops=key[1],
+                    threshold=point["threshold"], slots=point["slots"],
+                    seed=seed, batch=point["batches"],
+                    batch_trials=batch_trials, engine=engine, **shared,
+                )
+            )
+            point["batches"] += 1
+        round_spec = SweepSpec.build(
+            f"validation-rare-batch-{round_index}", round_cells,
+            settings={"quick": quick, **shared}, x_label="H",
+        )
+        round_result = run_sweep(round_spec, executor=executor, cache=cache)
+        raw_rows.extend(round_result.rows)
+        cells += len(round_result.cells)
+        cached += round_result.cached_cells
+        wall += round_result.computed_wall_time_s
+        round_index += 1
+
+        finished = set()
+        for row in rows_to_rare_validation(raw_rows, epsilon=epsilon):
+            key = (row.scheduler, row.hops)
+            if key not in pending:
+                continue
+            if (
+                row.rel_half_width <= ci_target
+                or points[key]["batches"] >= max_batches
+            ):
+                finished.add(key)
+        pending -= finished
+
+    rows = rows_to_rare_validation(raw_rows, epsilon=epsilon)
+    if obs.enabled():
+        for row in rows:
+            obs.add("rare.points")
+            obs.add("rare.point_trials", float(row.n_trials))
+    return RareValidationResult(
+        rows=rows,
+        raw_rows=raw_rows,
+        cells=cells,
+        cached_cells=cached,
+        computed_wall_time_s=wall,
+    )
+
+
+def rare_validation_summary(rows: Sequence[RareValidationRow]) -> list[dict]:
+    """The aggregated rare rows as plain dicts (for the JSON artifact)."""
+    return [
+        {
+            "scheduler": row.scheduler,
+            "hops": row.hops,
+            "utilization": row.utilization,
+            "epsilon": row.epsilon,
+            "bound": row.bound,
+            "threshold": row.threshold,
+            "probability": row.probability,
+            "ci_low": row.ci_low,
+            "ci_high": row.ci_high,
+            "boot_ci_low": row.boot_ci_low,
+            "boot_ci_high": row.boot_ci_high,
+            "rel_half_width": row.rel_half_width,
+            "n_trials": row.n_trials,
+            "n_batches": row.n_batches,
+            "hit_rate": row.hit_rate,
+            "variance_reduction": row.variance_reduction,
+            "log_weight_std": row.log_weight_std,
+            "slots": row.slots,
+            "seed": row.seed,
+            "engine": row.engine,
+            "sound": row.sound,
+        }
+        for row in rows
+    ]
+
+
+def format_rare_validation(rows: Sequence[RareValidationRow]) -> str:
+    """Readable table of the rare-event validation outcome."""
+    lines = [
+        f"{'scheduler':>10} {'H':>3} {'bound':>10} {'P(delay>bound)':>15} "
+        f"{'ci_hi':>10} {'relhw':>6} {'trials':>6} {'vrf':>9} {'sound':>6}"
+    ]
+    for row in rows:
+        vrf = (
+            f"{row.variance_reduction:.2e}"
+            if math.isfinite(row.variance_reduction)
+            else "inf"
+        )
+        lines.append(
+            f"{row.scheduler:>10} {row.hops:>3} {row.bound:>10.2f} "
+            f"{row.probability:>15.3e} {row.ci_high:>10.3e} "
+            f"{row.rel_half_width:>6.2f} {row.n_trials:>6} {vrf:>9} "
+            f"{str(row.sound):>6}"
+        )
+    return "\n".join(lines)
 
 
 def format_validation(rows: Sequence[ValidationRow]) -> str:

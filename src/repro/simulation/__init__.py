@@ -53,6 +53,16 @@ from repro.simulation.engine import (
     simulate_topology_mmoo,
     spawn_trial_seeds,
 )
+from repro.simulation.rare import (
+    RareEstimate,
+    RareTrialResult,
+    TiltedMMOO,
+    estimate_tail,
+    estimate_tail_from_arrays,
+    simulate_tandem_mmoo_rare,
+    solve_lundberg_tilt,
+    suggest_rare_slots,
+)
 
 __all__ = [
     "SchedulerPolicy",
@@ -83,4 +93,12 @@ __all__ = [
     "simulate_tandem_mmoo_trials",
     "simulate_topology_mmoo",
     "spawn_trial_seeds",
+    "TiltedMMOO",
+    "RareTrialResult",
+    "RareEstimate",
+    "estimate_tail",
+    "estimate_tail_from_arrays",
+    "simulate_tandem_mmoo_rare",
+    "solve_lundberg_tilt",
+    "suggest_rare_slots",
 ]

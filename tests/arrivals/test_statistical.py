@@ -46,6 +46,33 @@ class TestExponentialBound:
         with pytest.raises(ValueError):
             ExponentialBound(1.0, 0.0)
 
+    def test_deterministic_inverse_accepts_zero_epsilon(self):
+        # M = 0 is never violated, so even epsilon = 0 has threshold 0
+        assert ExponentialBound(0.0, 1.0).inverse(0.0) == 0.0
+
+    def test_deeply_negative_sigma_does_not_overflow(self):
+        b = ExponentialBound(2.0, 1.0)
+        assert b(-1e6) == math.inf  # raw value saturates instead of raising
+        assert b.probability(-1e6) == 1.0
+
+    def test_probability_clips_exactly_at_the_knee(self):
+        b = ExponentialBound(math.e, 1.0)  # knee at sigma = 1
+        assert b.probability(1.0) == 1.0
+        assert b.probability(1.0 + 1e-9) < 1.0
+
+    def test_inverse_of_extreme_epsilon_does_not_overflow(self):
+        b = ExponentialBound(1e300, 1.0)
+        sigma = b.inverse(5e-324)  # smallest positive denormal
+        assert math.isfinite(sigma)
+        assert b(sigma) == pytest.approx(5e-324, rel=1e-6)
+
+    def test_inverse_round_trip_near_the_knee(self):
+        b = ExponentialBound(2.0, 3.0)
+        for epsilon in (0.999, 0.5, 1e-3, 1e-12):
+            sigma = b.inverse(epsilon)
+            assert sigma >= 0.0
+            assert b.probability(sigma) <= epsilon + 1e-15
+
 
 class TestCombineBounds:
     def test_single(self):

@@ -1,0 +1,223 @@
+"""Tests for the adaptive rare-event validation layer and its CLI path."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.executor import SerialExecutor
+from repro.experiments.validation import (
+    RareValidationRow,
+    rare_validation_batch_cell,
+    rare_validation_summary,
+    rows_to_rare_validation,
+    run_rare_validation,
+)
+from repro.simulation.engine import spawn_trial_seeds
+
+PAPER_TRAFFIC = (1.5, 0.989, 0.9)
+PAPER_CAPACITY = 100.0
+
+
+def _batch_cell(batch: int = 0, batch_trials: int = 4) -> dict:
+    return rare_validation_batch_cell(
+        scheduler="FIFO",
+        hops=1,
+        utilization=0.90,
+        epsilon=1e-6,
+        threshold=45.0,
+        slots=700,
+        seed=5,
+        batch=batch,
+        batch_trials=batch_trials,
+        engine="vectorized",
+        traffic=PAPER_TRAFFIC,
+        capacity=PAPER_CAPACITY,
+    )
+
+
+class TestRareValidationBatchCell:
+    def test_row_structure_and_lengths(self):
+        payload = _batch_cell(batch=0, batch_trials=4)
+        (row,) = payload["rows"]
+        assert row["kind"] == "rare_batch"
+        assert row["scheduler"] == "FIFO" and row["hops"] == 1
+        for field in ("log_weights", "exceed_fractions", "taus", "trial_seeds"):
+            assert len(row[field]) == 4
+        assert payload["diagnostics"]["tilt"] > 0
+        assert payload["diagnostics"]["mean_tau"] >= 0
+
+    def test_batches_slice_the_prefix_stable_seed_sequence(self):
+        batch0 = _batch_cell(batch=0, batch_trials=3)["rows"][0]
+        batch1 = _batch_cell(batch=1, batch_trials=3)["rows"][0]
+        seeds = spawn_trial_seeds(5, 6)
+        assert batch0["trial_seeds"] == [int(s) for s in seeds[:3]]
+        assert batch1["trial_seeds"] == [int(s) for s in seeds[3:]]
+
+
+class TestRowsToRareValidation:
+    @staticmethod
+    def bound_row(scheduler="FIFO", hops=1):
+        return {
+            "kind": "bound",
+            "scheduler": scheduler,
+            "hops": hops,
+            "utilization": 0.9,
+            "bound": 45.0,
+            "slack_allowed": 0.11,
+        }
+
+    @staticmethod
+    def batch_row(scheduler="FIFO", hops=1, batch=0, log_weights=(0.0,)):
+        return {
+            "kind": "rare_batch",
+            "scheduler": scheduler,
+            "hops": hops,
+            "utilization": 0.9,
+            "batch": batch,
+            "threshold": 45.11,
+            "slots": 700,
+            "seed": 5,
+            "engine": "vectorized",
+            "log_weights": list(log_weights),
+            "exceed_fractions": [0.5] * len(log_weights),
+            "taus": [10] * len(log_weights),
+            "trial_seeds": [0] * len(log_weights),
+        }
+
+    def test_joins_bound_and_batches(self):
+        rows = rows_to_rare_validation(
+            [self.bound_row(), self.batch_row(log_weights=(0.0, 0.0))],
+            epsilon=1e-6,
+        )
+        (row,) = rows
+        assert row.scheduler == "FIFO"
+        assert row.bound == 45.0
+        assert row.threshold == 45.11
+        assert row.probability == pytest.approx(0.5)
+        assert row.n_trials == 2
+        assert row.n_batches == 1
+
+    def test_batches_concatenate_in_batch_order(self):
+        # deliver the batches out of order; the join must sort by batch
+        # so the estimate equals one long prefix-stable trial sequence
+        shuffled = [
+            self.batch_row(batch=1, log_weights=(math.log(0.5),)),
+            self.bound_row(),
+            self.batch_row(batch=0, log_weights=(0.0,)),
+        ]
+        (row,) = rows_to_rare_validation(shuffled, epsilon=1e-6)
+        assert row.n_batches == 2
+        assert row.probability == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_missing_batches_raise(self):
+        with pytest.raises(ValueError, match="no rare batches"):
+            rows_to_rare_validation([self.bound_row()], epsilon=1e-6)
+
+    def test_soundness_compares_ci_low_to_epsilon(self):
+        def row_with(ci_low, epsilon):
+            return RareValidationRow(
+                scheduler="FIFO", hops=1, utilization=0.9, epsilon=epsilon,
+                bound=45.0, threshold=45.11, probability=ci_low * 2,
+                ci_low=ci_low, ci_high=ci_low * 4, boot_ci_low=ci_low,
+                boot_ci_high=ci_low * 4, rel_half_width=0.5, n_trials=100,
+                n_batches=1, hit_rate=0.5, variance_reduction=10.0,
+                log_weight_std=1.0, slots=700, seed=5,
+            )
+
+        assert row_with(1e-9, 1e-6).sound
+        assert row_with(1e-6, 1e-6).sound  # boundary counts as sound
+        assert not row_with(1e-3, 1e-6).sound
+
+
+class TestRunRareValidation:
+    def test_small_grid_end_to_end(self):
+        result = run_rare_validation(
+            schedulers=("FIFO", "BMUX"),
+            hops=(1,),
+            epsilon=1e-6,
+            batch_trials=10,
+            ci_target=0.5,
+            max_batches=2,
+            executor=SerialExecutor(),
+        )
+        assert len(result.rows) == 2
+        assert {row.scheduler for row in result.rows} == {"FIFO", "BMUX"}
+        for row in result.rows:
+            assert row.threshold >= row.bound  # FIFO slack is exactly 0
+            assert 1 <= row.n_batches <= 2
+            assert row.n_trials == row.n_batches * 10
+            assert row.probability < 1e-6  # bounds are deeply conservative
+            assert row.sound
+        # raw rows keep both phases for the artifact
+        kinds = {r.get("kind", "bound") for r in result.raw_rows}
+        assert "rare_batch" in kinds
+        assert result.cells >= 4  # 2 bound cells + >= 1 batch round
+
+    def test_summary_is_json_serializable(self):
+        (row,) = rows_to_rare_validation(
+            [
+                TestRowsToRareValidation.bound_row(),
+                TestRowsToRareValidation.batch_row(log_weights=(0.0, 0.0)),
+            ],
+            epsilon=1.0,  # make the fabricated point trivially sound
+        )
+        summary = rare_validation_summary([row])
+        text = json.dumps(summary)
+        assert json.loads(text)[0]["sound"] is True
+
+
+class TestRareCliParser:
+    def test_defaults_keep_naive_path(self):
+        args = build_parser().parse_args(["validation"])
+        assert args.method == "naive"
+        assert args.ci_target == 0.25
+        assert args.batch_trials == 100
+        assert args.max_batches == 25
+
+    def test_importance_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "validation", "--method", "importance",
+                "--ci-target", "0.1", "--batch-trials", "40",
+                "--max-batches", "6",
+            ]
+        )
+        assert args.method == "importance"
+        assert args.ci_target == 0.1
+        assert args.batch_trials == 40
+        assert args.max_batches == 6
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validation", "--method", "magic"])
+
+
+class TestRareCliMain:
+    def test_importance_smoke_and_artifact(self, capsys, tmp_path):
+        json_path = tmp_path / "rare.json"
+        rc = main(
+            [
+                "validation", "--hops", "1", "--epsilon", "1e-6",
+                "--method", "importance", "--batch-trials", "20",
+                "--max-batches", "2", "--no-cache",
+                "--json", str(json_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(delay>bound)" in out
+        assert "[validation-rare]" in out
+
+        artifact = json.loads(json_path.read_text())
+        assert artifact["name"] == "validation-rare"
+        assert artifact["meta"]["method"] == "importance"
+        assert artifact["settings"]["epsilon"] == 1e-6
+        assert artifact["settings"]["batch_trials"] == 20
+        summary = artifact["meta"]["summary"]
+        assert len(summary) == 3  # FIFO, BMUX, EDF
+        assert all(point["sound"] for point in summary)
+        assert all(point["probability"] <= 1e-6 for point in summary)
+        kinds = {row.get("kind", "bound") for row in artifact["rows"]}
+        assert kinds == {"bound", "rare_batch"}

@@ -17,7 +17,7 @@ import pytest
 
 from repro.experiments.executor import ParallelExecutor, SerialExecutor
 from repro.experiments.sweep import run_sweep
-from repro.experiments.validation import validation_spec
+from repro.experiments.validation import run_rare_validation, validation_spec
 from repro.simulation.engine import spawn_trial_seeds
 
 
@@ -73,3 +73,60 @@ class TestValidationRowsJobInvariance:
         )
         other = run_sweep(other_spec, executor=SerialExecutor())
         assert self.row_bytes(base) != self.row_bytes(other)
+
+
+class TestRareValidationSeedStability:
+    """The weighted estimator inherits both contracts: executor
+    invariance and prefix stability under adaptive trial growth."""
+
+    @staticmethod
+    def run(executor, max_batches=1, batch_trials=8):
+        return run_rare_validation(
+            schedulers=("FIFO", "BMUX"),
+            hops=(1,),
+            epsilon=1e-6,
+            seed=11,
+            batch_trials=batch_trials,
+            ci_target=0.0,  # unreachable: always runs max_batches batches
+            max_batches=max_batches,
+            executor=executor,
+        )
+
+    @staticmethod
+    def row_bytes(rows) -> bytes:
+        return json.dumps(rows, sort_keys=True).encode()
+
+    def test_rows_byte_identical_serial_vs_parallel(self):
+        serial = self.run(SerialExecutor())
+        parallel = self.run(ParallelExecutor(2))
+        assert self.row_bytes(serial.raw_rows) == self.row_bytes(
+            parallel.raw_rows
+        )
+
+    def test_adaptive_growth_is_prefix_stable(self):
+        # extending the adaptive loop must only append batches: the
+        # batch-0 cells (and hence any cached copy) stay valid verbatim
+        short = self.run(SerialExecutor(), max_batches=1)
+        long = self.run(SerialExecutor(), max_batches=2)
+        short_batch0 = [
+            r for r in short.raw_rows if r.get("kind") == "rare_batch"
+        ]
+        long_batch0 = [
+            r
+            for r in long.raw_rows
+            if r.get("kind") == "rare_batch" and r["batch"] == 0
+        ]
+        assert self.row_bytes(short_batch0) == self.row_bytes(long_batch0)
+
+    def test_batches_continue_the_seed_sequence(self):
+        result = self.run(SerialExecutor(), max_batches=2, batch_trials=5)
+        fifo = sorted(
+            (
+                r
+                for r in result.raw_rows
+                if r.get("kind") == "rare_batch" and r["scheduler"] == "FIFO"
+            ),
+            key=lambda r: r["batch"],
+        )
+        flat = [s for r in fifo for s in r["trial_seeds"]]
+        assert flat == [int(s) for s in spawn_trial_seeds(11, 10)]

@@ -67,6 +67,7 @@ class TestDocstrings:
             "repro.network.optimization",
             "repro.network.e2e",
             "repro.simulation.engine",
+            "repro.simulation.rare",
         ],
     )
     def test_module_docstrings_present(self, module_name):
