@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 from typing import Sequence
 
 from repro import obs
@@ -44,6 +45,7 @@ from repro.experiments.runner import (
     rows_to_csv,
     write_json_artifact,
 )
+from repro.experiments.stream import StreamingArtifactWriter
 from repro.experiments.sweep import run_sweep
 from repro.experiments.topology import (
     format_topology,
@@ -74,6 +76,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="compute cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="fuse compatible cells into vectorized mega-batches (see "
+        "repro.experiments.batch); results are bitwise identical to "
+        "per-cell execution",
     )
     parser.add_argument(
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
@@ -306,8 +314,17 @@ def _run(args) -> int:
         return _run_rare(args, executor, cache)
 
     spec = _build_spec(args)
+    writer = None
+    if args.json or args.csv:
+        writer = StreamingArtifactWriter(
+            spec, args.json, csv_path=args.csv, csv_rows=dict_rows_to_csv,
+            meta={"command": args.command, "jobs": args.jobs},
+        )
     with obs.trace(f"cli.{args.command}"):
-        result = run_sweep(spec, executor=executor, cache=cache)
+        result = run_sweep(
+            spec, executor=executor, cache=cache, batch=args.batch,
+            on_cell=writer.on_cell if writer is not None else None,
+        )
 
     if args.command == "validation":
         validation_rows = rows_to_validation(result.rows)
@@ -340,11 +357,15 @@ def _run(args) -> int:
         registry = obs.active()
         hits = registry.counter("cache.hits")
         misses = registry.counter("cache.misses")
+        edf_iterations = registry.counter("e2e.edf_iterations") + sum(
+            registry.series("lanes.edf_lane_iterations")
+        )
         print(
             f"[trace] cache hits={hits:.0f} misses={misses:.0f}, "
-            f"edf fixed-point iterations="
-            f"{registry.counter('e2e.edf_iterations'):.0f}"
+            f"edf fixed-point iterations={edf_iterations:.0f}"
         )
+        if args.batch:
+            print(_format_batch_trace(registry))
     if args.json:
         meta = {
             "command": args.command,
@@ -372,6 +393,27 @@ def _run(args) -> int:
         write_json_artifact(args.json, artifact)
         print(f"wrote {args.json}")
     return rc
+
+
+def _format_batch_trace(registry) -> str:
+    """One-line summary of the batched run's planner/executor metrics."""
+    occupancy = registry.series("batch.occupancy")
+    mean_occupancy = (
+        sum(occupancy) / len(occupancy) if occupancy else 0.0
+    )
+    lane_iterations = registry.series("lanes.edf_lane_iterations")
+    histogram = Counter(int(i) for i in lane_iterations)
+    histogram_text = (
+        " ".join(f"{k}:{v}" for k, v in sorted(histogram.items())) or "-"
+    )
+    return (
+        f"[trace] batches={registry.counter('batch.executed'):.0f}"
+        f"/{registry.counter('batch.planned'):.0f} planned "
+        f"(fallback cells={registry.counter('batch.fallback_cells'):.0f}), "
+        f"mean occupancy={mean_occupancy:.1f}, "
+        f"steals={registry.counter('executor.steals'):.0f}, "
+        f"edf lane-iteration histogram: {histogram_text}"
+    )
 
 
 def _run_rare(args, executor, cache) -> int:

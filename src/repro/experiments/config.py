@@ -45,6 +45,7 @@ SCHEDULER_MAP = {
     "FIFO": ("fifo", 0.0, None),
     "BMUX": ("bmux", math.inf, None),
     "EDF": ("edf", 1.0 - 10.0, (1.0, 10.0)),
+    "SP": ("sp", -math.inf, None),
 }
 
 

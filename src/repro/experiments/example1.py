@@ -30,9 +30,11 @@ from repro.experiments.config import (
     setting_from_params,
     setting_to_params,
 )
+from repro.experiments.batch import CellPlan, edf_diagnostics
 from repro.experiments.runner import ExperimentRow
 from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+from repro.network.lanes import EDFLaneSpec, LaneSpec
 
 #: The through-aggregate size of Example 1 (U_0 = 15%).
 N_THROUGH = 100
@@ -42,6 +44,29 @@ DEFAULT_HOPS = (2, 5, 10)
 SCHEDULERS = ("BMUX", "FIFO", "EDF")
 
 CELL_FN = "repro.experiments.example1:fig2_cell"
+
+
+def _fig2_payload(
+    scheduler: str, hops: int, utilization: float, result, delta: float,
+    diagnostics: dict,
+) -> dict:
+    """The cell payload; shared by the per-cell and the batched path."""
+    return {
+        "rows": [
+            {
+                "series": f"{scheduler} H={hops}",
+                "x": utilization * 100.0,
+                "delay": result.delay,
+                "extra": {
+                    "delta": delta,
+                    "gamma": result.gamma,
+                    "alpha": result.alpha,
+                    "sigma": result.sigma,
+                },
+            }
+        ],
+        "diagnostics": diagnostics,
+    }
 
 
 def fig2_cell(
@@ -62,7 +87,6 @@ def fig2_cell(
     grid = {"s_grid": s_grid, "gamma_grid": gamma_grid, "backend": backend}
     n_total = setting.flows_for_utilization(utilization)
     n_cross = max(n_total - n_through, 0)
-    diagnostics: dict = {}
     if scheduler == "EDF":
         bound = e2e_delay_bound_edf(
             setting.traffic, n_through, n_cross, hops,
@@ -71,35 +95,59 @@ def fig2_cell(
             deadline_weight_cross=10.0,
             **grid,
         )
-        result, delta = bound.result, bound.delta
-        diagnostics = {
-            "edf_iterations": bound.diagnostics.iterations,
-            "edf_residual": bound.diagnostics.residual,
-            "edf_converged": bound.diagnostics.converged,
-        }
-    else:
-        delta = math.inf if scheduler == "BMUX" else 0.0
-        result = e2e_delay_bound_mmoo(
-            setting.traffic, n_through, n_cross, hops,
-            setting.capacity, delta, setting.epsilon,
-            **grid,
+        return _fig2_payload(
+            scheduler, hops, utilization, bound.result, bound.delta,
+            edf_diagnostics(bound),
         )
-    return {
-        "rows": [
-            {
-                "series": f"{scheduler} H={hops}",
-                "x": utilization * 100.0,
-                "delay": result.delay,
-                "extra": {
-                    "delta": delta,
-                    "gamma": result.gamma,
-                    "alpha": result.alpha,
-                    "sigma": result.sigma,
-                },
-            }
-        ],
-        "diagnostics": diagnostics,
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    result = e2e_delay_bound_mmoo(
+        setting.traffic, n_through, n_cross, hops,
+        setting.capacity, delta, setting.epsilon,
+        **grid,
+    )
+    return _fig2_payload(scheduler, hops, utilization, result, delta, {})
+
+
+def fig2_plan(params: dict) -> CellPlan:
+    """Batch plan of one Fig. 2 cell (see :mod:`repro.experiments.batch`)."""
+    scheduler = params["scheduler"]
+    hops, utilization = params["hops"], params["utilization"]
+    setting = setting_from_params(
+        params["traffic"], params["capacity"], params["epsilon"]
+    )
+    n_total = setting.flows_for_utilization(utilization)
+    n_cross = max(n_total - params["n_through"], 0)
+    grid = {
+        "s_grid": params["s_grid"],
+        "gamma_grid": params["gamma_grid"],
+        "backend": params.get("backend", DEFAULT_BACKEND),
     }
+    if scheduler == "EDF":
+        return CellPlan(
+            kind="edf",
+            spec=EDFLaneSpec(
+                setting.traffic, params["n_through"], n_cross, hops,
+                setting.capacity, setting.epsilon,
+                deadline_weight_through=1.0,
+                deadline_weight_cross=10.0,
+                **grid,
+            ),
+            build=lambda bound: _fig2_payload(
+                scheduler, hops, utilization, bound.result, bound.delta,
+                edf_diagnostics(bound),
+            ),
+        )
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    return CellPlan(
+        kind="mmoo",
+        spec=LaneSpec(
+            setting.traffic, params["n_through"], n_cross, hops,
+            setting.capacity, delta, setting.epsilon, **grid,
+        ),
+        build=lambda result: _fig2_payload(
+            scheduler, hops, utilization, result, delta, {}
+        ),
+    )
 
 
 def fig2_spec(

@@ -30,9 +30,11 @@ from repro.experiments.config import (
     setting_from_params,
     setting_to_params,
 )
+from repro.experiments.batch import CellPlan, edf_diagnostics
 from repro.experiments.runner import ExperimentRow
 from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+from repro.network.lanes import EDFLaneSpec, LaneSpec
 
 DEFAULT_MIXES = (0.1, 0.3, 0.5, 0.7, 0.9)
 DEFAULT_HOPS = (2, 5, 10)
@@ -45,6 +47,24 @@ EDF_WEIGHTS = {"EDF short": (1.0, 2.0), "EDF long": (2.0, 1.0)}
 TOTAL_UTILIZATION = 0.50
 
 CELL_FN = "repro.experiments.example2:fig3_cell"
+
+
+def _fig3_payload(
+    scheduler: str, hops: int, mix: float, result, delta: float,
+    diagnostics: dict,
+) -> dict:
+    """The cell payload; shared by the per-cell and the batched path."""
+    return {
+        "rows": [
+            {
+                "series": f"{scheduler} H={hops}",
+                "x": mix,
+                "delay": result.delay,
+                "extra": {"delta": delta, "gamma": result.gamma},
+            }
+        ],
+        "diagnostics": diagnostics,
+    }
 
 
 def fig3_cell(
@@ -66,7 +86,6 @@ def fig3_cell(
     n_total = setting.flows_for_utilization(utilization)
     n_cross = round(mix * n_total)
     n_through = max(n_total - n_cross, 1)
-    diagnostics: dict = {}
     if scheduler in EDF_WEIGHTS:
         w_through, w_cross = EDF_WEIGHTS[scheduler]
         bound = e2e_delay_bound_edf(
@@ -76,30 +95,61 @@ def fig3_cell(
             deadline_weight_cross=w_cross,
             **grid,
         )
-        result, delta = bound.result, bound.delta
-        diagnostics = {
-            "edf_iterations": bound.diagnostics.iterations,
-            "edf_residual": bound.diagnostics.residual,
-            "edf_converged": bound.diagnostics.converged,
-        }
-    else:
-        delta = math.inf if scheduler == "BMUX" else 0.0
-        result = e2e_delay_bound_mmoo(
-            setting.traffic, n_through, n_cross, hops,
-            setting.capacity, delta, setting.epsilon,
-            **grid,
+        return _fig3_payload(
+            scheduler, hops, mix, bound.result, bound.delta,
+            edf_diagnostics(bound),
         )
-    return {
-        "rows": [
-            {
-                "series": f"{scheduler} H={hops}",
-                "x": mix,
-                "delay": result.delay,
-                "extra": {"delta": delta, "gamma": result.gamma},
-            }
-        ],
-        "diagnostics": diagnostics,
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    result = e2e_delay_bound_mmoo(
+        setting.traffic, n_through, n_cross, hops,
+        setting.capacity, delta, setting.epsilon,
+        **grid,
+    )
+    return _fig3_payload(scheduler, hops, mix, result, delta, {})
+
+
+def fig3_plan(params: dict) -> CellPlan:
+    """Batch plan of one Fig. 3 cell (see :mod:`repro.experiments.batch`)."""
+    scheduler = params["scheduler"]
+    hops, mix = params["hops"], params["mix"]
+    setting = setting_from_params(
+        params["traffic"], params["capacity"], params["epsilon"]
+    )
+    n_total = setting.flows_for_utilization(params["utilization"])
+    n_cross = round(mix * n_total)
+    n_through = max(n_total - n_cross, 1)
+    grid = {
+        "s_grid": params["s_grid"],
+        "gamma_grid": params["gamma_grid"],
+        "backend": params.get("backend", DEFAULT_BACKEND),
     }
+    if scheduler in EDF_WEIGHTS:
+        w_through, w_cross = EDF_WEIGHTS[scheduler]
+        return CellPlan(
+            kind="edf",
+            spec=EDFLaneSpec(
+                setting.traffic, n_through, n_cross, hops,
+                setting.capacity, setting.epsilon,
+                deadline_weight_through=w_through,
+                deadline_weight_cross=w_cross,
+                **grid,
+            ),
+            build=lambda bound: _fig3_payload(
+                scheduler, hops, mix, bound.result, bound.delta,
+                edf_diagnostics(bound),
+            ),
+        )
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    return CellPlan(
+        kind="mmoo",
+        spec=LaneSpec(
+            setting.traffic, n_through, n_cross, hops,
+            setting.capacity, delta, setting.epsilon, **grid,
+        ),
+        build=lambda result: _fig3_payload(
+            scheduler, hops, mix, result, delta, {}
+        ),
+    )
 
 
 def fig3_spec(

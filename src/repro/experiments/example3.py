@@ -30,9 +30,11 @@ from repro.experiments.config import (
     setting_from_params,
     setting_to_params,
 )
+from repro.experiments.batch import CellPlan, edf_diagnostics
 from repro.experiments.runner import ExperimentRow
 from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_edf, e2e_delay_bound_mmoo
+from repro.network.lanes import EDFLaneSpec, LaneSpec
 from repro.network.pernode import additive_pernode_delay_bound_mmoo
 
 DEFAULT_HOPS = (1, 2, 4, 6, 8, 10)
@@ -58,7 +60,6 @@ def fig4_cell(
     setting = setting_from_params(traffic, capacity, epsilon)
     grid = {"s_grid": s_grid, "gamma_grid": gamma_grid, "backend": backend}
     n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
-    diagnostics: dict = {}
     if scheduler == "EDF":
         bound = e2e_delay_bound_edf(
             setting.traffic, n_half, n_half, hops,
@@ -67,30 +68,35 @@ def fig4_cell(
             deadline_weight_cross=10.0,
             **grid,
         )
-        delay = bound.result.delay
-        gamma = bound.result.gamma
-        diagnostics = {
-            "edf_iterations": bound.diagnostics.iterations,
-            "edf_residual": bound.diagnostics.residual,
-            "edf_converged": bound.diagnostics.converged,
-        }
-    elif scheduler == "BMUX additive":
+        return _fig4_payload(
+            scheduler, hops, utilization, bound.result.delay,
+            bound.result.gamma, edf_diagnostics(bound),
+        )
+    if scheduler == "BMUX additive":
         additive = additive_pernode_delay_bound_mmoo(
             setting.traffic, n_half, n_half, hops,
             setting.capacity, setting.epsilon,
             **grid,
         )
-        delay = additive.delay
-        gamma = additive.gamma
-    else:
-        delta = math.inf if scheduler == "BMUX" else 0.0
-        result = e2e_delay_bound_mmoo(
-            setting.traffic, n_half, n_half, hops,
-            setting.capacity, delta, setting.epsilon,
-            **grid,
+        return _fig4_payload(
+            scheduler, hops, utilization, additive.delay, additive.gamma, {}
         )
-        delay = result.delay
-        gamma = result.gamma
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    result = e2e_delay_bound_mmoo(
+        setting.traffic, n_half, n_half, hops,
+        setting.capacity, delta, setting.epsilon,
+        **grid,
+    )
+    return _fig4_payload(
+        scheduler, hops, utilization, result.delay, result.gamma, {}
+    )
+
+
+def _fig4_payload(
+    scheduler: str, hops: int, utilization: float, delay: float,
+    gamma: float, diagnostics: dict,
+) -> dict:
+    """The cell payload; shared by the per-cell and the batched path."""
     return {
         "rows": [
             {
@@ -102,6 +108,54 @@ def fig4_cell(
         ],
         "diagnostics": diagnostics,
     }
+
+
+def fig4_plan(params: dict) -> CellPlan | None:
+    """Batch plan of one Fig. 4 cell (see :mod:`repro.experiments.batch`).
+
+    The additive BMUX baseline runs a different solver
+    (:func:`additive_pernode_delay_bound_mmoo`), so it declines batching
+    and stays on the per-cell path.
+    """
+    scheduler = params["scheduler"]
+    if scheduler == "BMUX additive":
+        return None
+    hops, utilization = params["hops"], params["utilization"]
+    setting = setting_from_params(
+        params["traffic"], params["capacity"], params["epsilon"]
+    )
+    n_half = max(setting.flows_for_utilization(utilization) // 2, 1)
+    grid = {
+        "s_grid": params["s_grid"],
+        "gamma_grid": params["gamma_grid"],
+        "backend": params.get("backend", DEFAULT_BACKEND),
+    }
+    if scheduler == "EDF":
+        return CellPlan(
+            kind="edf",
+            spec=EDFLaneSpec(
+                setting.traffic, n_half, n_half, hops,
+                setting.capacity, setting.epsilon,
+                deadline_weight_through=1.0,
+                deadline_weight_cross=10.0,
+                **grid,
+            ),
+            build=lambda bound: _fig4_payload(
+                scheduler, hops, utilization, bound.result.delay,
+                bound.result.gamma, edf_diagnostics(bound),
+            ),
+        )
+    delta = math.inf if scheduler == "BMUX" else 0.0
+    return CellPlan(
+        kind="mmoo",
+        spec=LaneSpec(
+            setting.traffic, n_half, n_half, hops,
+            setting.capacity, delta, setting.epsilon, **grid,
+        ),
+        build=lambda result: _fig4_payload(
+            scheduler, hops, utilization, result.delay, result.gamma, {}
+        ),
+    )
 
 
 def fig4_spec(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import io
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -105,8 +106,14 @@ def write_json_artifact(path: str | Path, artifact: Mapping[str, Any]) -> None:
     """Write a structured sweep artifact (see ``SweepResult.to_artifact``).
 
     Plain ``json`` with ``allow_nan`` left on: infinite bounds serialize
-    as ``Infinity``, which Python's reader round-trips exactly.
+    as ``Infinity``, which Python's reader round-trips exactly.  The
+    write is atomic (temp file + ``os.replace``) so a crash mid-write
+    never leaves a truncated artifact — the streaming writer
+    (:mod:`repro.experiments.stream`) relies on this when it hands the
+    final artifact over.
     """
-    with open(path, "w") as handle:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
         json.dump(dict(artifact), handle, indent=2)
         handle.write("\n")
+    os.replace(tmp, path)

@@ -1,0 +1,151 @@
+"""Streaming sweep artifacts: every completed cell lands on disk.
+
+:class:`StreamingArtifactWriter` plugs into ``run_sweep(...,
+on_cell=writer.on_cell)``: each completion (cache hit or computed cell,
+in completion order) triggers an atomic rewrite of the JSON artifact —
+write to a sibling temp file, then :func:`os.replace` — so the artifact
+on disk is *always* valid JSON.  A sweep killed mid-flight leaves a
+partial artifact (``"partial": true``) holding every cell that finished
+before the kill; since computed cells also enter the content-keyed cell
+cache as they complete, re-running the same sweep resumes from the
+cache and only recomputes the cells that were still in flight.
+
+The partial artifact uses the same ``repro.sweep/1`` cell records as
+the final one but lists only completed cells (in grid order, with their
+grid ``index``).  :meth:`StreamingArtifactWriter.finalize` writes the
+exact final artifact (byte-identical to a non-streaming
+``write_json_artifact`` of ``result.to_artifact()``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.experiments.sweep import SweepResult, SweepSpec
+
+__all__ = ["StreamingArtifactWriter", "atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+class StreamingArtifactWriter:
+    """Incrementally persist a sweep's results as cells complete.
+
+    ``json_path`` receives a partial artifact after every completion;
+    ``csv_path`` (optional) receives the completed rows, serialized by
+    ``csv_rows`` (a ``rows -> str`` callable, e.g.
+    :func:`repro.experiments.runner.dict_rows_to_csv`).  Rows appear in
+    grid order regardless of completion order, so a partial file is a
+    prefix-consistent subset of the final one.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        json_path: str | None,
+        *,
+        csv_path: str | None = None,
+        csv_rows: Callable[[Iterable[Mapping[str, Any]]], str] | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ):
+        self.spec = spec
+        self.keys = spec.keys()
+        self.json_path = json_path
+        self.csv_path = csv_path
+        self.csv_rows = csv_rows
+        self.meta = dict(meta or {})
+        self.writes = 0
+        self._payloads: dict[int, Mapping[str, Any]] = {}
+        self._cached: dict[int, bool] = {}
+        self._flush()
+
+    def on_cell(
+        self, index: int, payload: Mapping[str, Any], cached: bool
+    ) -> None:
+        """``run_sweep`` completion callback: record the cell and flush."""
+        self._payloads[index] = payload
+        self._cached[index] = cached
+        self._flush()
+
+    @property
+    def completed(self) -> int:
+        return len(self._payloads)
+
+    def _rows(self) -> list[dict[str, Any]]:
+        return [
+            dict(row)
+            for index in sorted(self._payloads)
+            for row in self._payloads[index].get("rows", ())
+        ]
+
+    def partial_artifact(self) -> dict[str, Any]:
+        """The current partial artifact (valid ``repro.sweep/1`` subset)."""
+        return {
+            "schema": "repro.sweep/1",
+            "name": self.spec.name,
+            "partial": True,
+            "x_label": self.spec.x_label,
+            "settings": {k: v for k, v in self.spec.settings},
+            "meta": dict(self.meta),
+            "n_cells": len(self.spec.cells),
+            "completed_cells": self.completed,
+            "rows": self._rows(),
+            "cells": [
+                {
+                    "index": index,
+                    "fn": self.spec.cells[index].fn,
+                    "params": {
+                        k: v for k, v in self.spec.cells[index].params
+                    },
+                    "key": self.keys[index],
+                    "cached": self._cached[index],
+                    "wall_time_s": float(
+                        self._payloads[index].get("wall_time_s", 0.0)
+                    ),
+                    "diagnostics": dict(
+                        self._payloads[index].get("diagnostics", {})
+                    ),
+                    "rows": [
+                        dict(row)
+                        for row in self._payloads[index].get("rows", ())
+                    ],
+                }
+                for index in sorted(self._payloads)
+            ],
+        }
+
+    def _flush(self) -> None:
+        if self.json_path is not None:
+            atomic_write_text(
+                self.json_path,
+                json.dumps(self.partial_artifact(), indent=2) + "\n",
+            )
+        if self.csv_path is not None and self.csv_rows is not None:
+            atomic_write_text(self.csv_path, self.csv_rows(self._rows()))
+        self.writes += 1
+
+    def finalize(
+        self,
+        result: SweepResult,
+        *,
+        meta: Mapping[str, Any] | None = None,
+        metrics: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Replace the partial JSON with the exact final artifact."""
+        artifact = result.to_artifact(meta=meta if meta is not None else self.meta)
+        if metrics is not None:
+            artifact["metrics"] = dict(metrics)
+        if self.json_path is not None:
+            atomic_write_text(
+                self.json_path, json.dumps(artifact, indent=2) + "\n"
+            )
+            self.writes += 1
+        return artifact

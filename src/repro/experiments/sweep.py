@@ -34,7 +34,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.experiments.cache import CellCache
@@ -157,12 +157,17 @@ def probe_cell(**params: Any) -> dict[str, Any]:
     """A trivial cell used by the test suite to observe executions.
 
     If ``record`` names a file, one line is appended per execution (so
-    tests can count cache hits vs. recomputations without timing).
+    tests can count cache hits vs. recomputations without timing); a
+    ``sleep_ms`` parameter stretches the cell's runtime (so interruption
+    tests can kill a sweep mid-flight deterministically).
     """
     record = params.get("record")
     if record:
         with open(record, "a") as handle:
             handle.write("run\n")
+    sleep_ms = float(params.get("sleep_ms", 0.0))
+    if sleep_ms > 0.0:
+        time.sleep(sleep_ms / 1000.0)
     value = float(params.get("value", 0.0))
     return {
         "rows": [
@@ -311,24 +316,43 @@ class SweepResult:
         }
 
 
+OnCell = Callable[[int, Mapping[str, Any], bool], None]
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
     executor: Any = None,
     cache: CellCache | None = None,
+    batch: bool = False,
+    on_cell: OnCell | None = None,
 ) -> SweepResult:
     """Execute a sweep spec: cache lookups, then fan-out, then assembly.
 
     Cells whose key is present in ``cache`` are served from disk;
-    the misses go through ``executor`` (serial by default) in one
-    batch, and their payloads are written back.  Results always come
-    back in grid order, so executor choice cannot change the rows.
+    the misses go through ``executor`` (serial by default), and their
+    payloads are written back.  Results always come back in grid order,
+    so executor choice cannot change the rows.
+
+    ``batch=True`` routes the misses through the cross-cell batch
+    planner (:mod:`repro.experiments.batch`): compatible cells fuse into
+    lane groups solved in one vectorized call each, and the executor's
+    unit of work becomes the batch.  Payloads — and therefore rows,
+    cache entries, and artifacts — are bitwise identical to the
+    per-cell path.
+
+    ``on_cell(index, payload, cached)`` streams completions: it fires
+    once per cell, for cache hits during lookup and for computed cells
+    as their work unit finishes (in completion order when the executor
+    supports streaming).  Callbacks run in the parent process.
 
     When the active :mod:`repro.obs` registry is enabled, misses run
-    through :func:`execute_cell_traced`: every computed cell's metrics
-    snapshot is embedded in its payload (and thus the artifact and the
-    cache entry) and merged into the sweep-level registry, together with
-    per-cell wall-time / queue-wait series and a per-worker cell count.
+    traced: every computed work unit's metrics snapshot is merged into
+    the sweep-level registry, together with per-cell wall-time /
+    queue-wait series and a per-worker cell count.  Per-cell runs embed
+    the snapshot in the cell payload; batched runs merge one snapshot
+    per batch (the batch shares its solver work, so per-cell
+    attribution would double-count) and cells carry no ``"metrics"``.
     """
     executor = executor or SerialExecutor()
     keys = spec.keys()
@@ -343,26 +367,38 @@ def run_sweep(
                     if hit is not None:
                         payloads[index] = hit
                         cached[index] = True
+                        if on_cell is not None:
+                            on_cell(index, hit, True)
 
         missing = [i for i, payload in enumerate(payloads) if payload is None]
         traced = obs.enabled()
-        if missing:
+
+        def complete(index: int, payload: dict[str, Any]) -> None:
+            payloads[index] = payload
+            if cache is not None:
+                cache.put(keys[index], payload)
+            if on_cell is not None:
+                on_cell(index, payload, False)
+
+        if missing and batch:
+            _run_batched(spec, missing, executor, traced, complete)
+        elif missing:
             if traced:
                 submitted_at = time.time()
-                computed = executor.map(
-                    execute_cell_traced,
-                    [(spec.cells[i], submitted_at) for i in missing],
-                )
+                fn: Any = execute_cell_traced
+                items: list[Any] = [
+                    (spec.cells[i], submitted_at) for i in missing
+                ]
             else:
-                computed = executor.map(
-                    execute_cell, [spec.cells[i] for i in missing]
-                )
-            for index, payload in zip(missing, computed):
-                payloads[index] = payload
+                fn = execute_cell
+                items = [spec.cells[i] for i in missing]
+
+            def deliver(position: int, payload: dict[str, Any]) -> None:
                 if traced:
                     _merge_cell_metrics(payload)
-                if cache is not None:
-                    cache.put(keys[index], payload)
+                complete(missing[position], payload)
+
+            _map_stream(executor, fn, items, deliver)
 
     results = tuple(
         CellResult(
@@ -379,6 +415,59 @@ def run_sweep(
     return SweepResult(spec=spec, cells=results)
 
 
+def _map_stream(
+    executor: Any,
+    fn: Callable[[Any], Any],
+    items: list[Any],
+    deliver: Callable[[int, Any], None],
+) -> None:
+    """Stream ``fn`` over ``items``, tolerating map-only executors."""
+    stream = getattr(executor, "map_stream", None)
+    if stream is not None:
+        stream(fn, items, deliver)
+        return
+    for position, result in enumerate(executor.map(fn, items)):
+        deliver(position, result)
+
+
+def _run_batched(
+    spec: SweepSpec,
+    missing: list[int],
+    executor: Any,
+    traced: bool,
+    complete: Callable[[int, dict[str, Any]], None],
+) -> None:
+    """Plan the missing cells into batches and fan the batches out."""
+    # Imported here: the batch planner imports this module.
+    from repro.experiments.batch import (
+        execute_batch,
+        execute_batch_traced,
+        plan_batches,
+    )
+
+    batches = plan_batches(
+        spec, missing, jobs=int(getattr(executor, "jobs", 1))
+    )
+    if traced:
+        submitted_at = time.time()
+        fn: Any = execute_batch_traced
+        items: list[Any] = [(b, submitted_at) for b in batches]
+    else:
+        fn = execute_batch
+        items = list(batches)
+
+    def deliver(position: int, result: Any) -> None:
+        if traced:
+            cell_payloads = result["payloads"]
+            _merge_batch_metrics(result["metrics"], cell_payloads)
+        else:
+            cell_payloads = result
+        for index, payload in zip(batches[position].indices, cell_payloads):
+            complete(index, payload)
+
+    _map_stream(executor, fn, items, deliver)
+
+
 def _merge_cell_metrics(payload: Mapping[str, Any]) -> None:
     """Fold one computed cell's snapshot into the sweep-level registry."""
     snap = payload.get("metrics")
@@ -393,3 +482,28 @@ def _merge_cell_metrics(payload: Mapping[str, Any]) -> None:
     pid = gauges.get("cell.worker_pid")
     if pid is not None:
         obs.add(f"sweep.worker.{int(pid)}.cells")
+
+
+def _merge_batch_metrics(
+    snap: Mapping[str, Any], payloads: Sequence[Mapping[str, Any]]
+) -> None:
+    """Fold one computed batch's snapshot into the sweep-level registry.
+
+    The snapshot is merged once per batch — its cells share the fused
+    solver work, so per-cell merging would double-count — while the
+    wall-time series still gets one (amortized) observation per cell.
+    """
+    if not isinstance(snap, Mapping):
+        return
+    obs.merge(snap)
+    for payload in payloads:
+        obs.observe(
+            "sweep.cell_wall_time_s", float(payload.get("wall_time_s", 0.0))
+        )
+    gauges = snap.get("gauges", {})
+    queue_wait = gauges.get("cell.queue_wait_s")
+    if queue_wait is not None:
+        obs.observe("sweep.cell_queue_wait_s", float(queue_wait))
+    pid = gauges.get("cell.worker_pid")
+    if pid is not None:
+        obs.add(f"sweep.worker.{int(pid)}.cells", len(payloads))

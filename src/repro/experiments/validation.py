@@ -37,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.experiments.batch import CellPlan
 from repro.experiments.config import (
     DEFAULT_BACKEND,
     SCHEDULER_MAP,
@@ -48,6 +49,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.sweep import Cell, SweepSpec, run_sweep
 from repro.network.e2e import e2e_delay_bound_mmoo
+from repro.network.lanes import LaneSpec
 from repro.simulation.engine import (
     SimulationConfig,
     simulate_tandem_mmoo,
@@ -131,6 +133,13 @@ def validation_bound_cell(
         delta, epsilon, s_grid=s_grid, gamma_grid=gamma_grid,
         backend=backend,
     )
+    return _validation_bound_payload(scheduler, hops, utilization, n_half, bound)
+
+
+def _validation_bound_payload(
+    scheduler: str, hops: int, utilization: float, n_half: int, bound
+) -> dict:
+    """The bound-cell payload; shared by the per-cell and batched path."""
     return {
         "rows": [
             {
@@ -144,6 +153,32 @@ def validation_bound_cell(
         ],
         "diagnostics": {"n_through": n_half, "n_cross": n_half},
     }
+
+
+def validation_bound_plan(params: dict) -> CellPlan:
+    """Batch plan of one bound cell (see :mod:`repro.experiments.batch`)."""
+    scheduler = params["scheduler"]
+    hops, utilization = params["hops"], params["utilization"]
+    epsilon = params["epsilon"]
+    setting = setting_from_params(
+        params["traffic"], params["capacity"], epsilon
+    )
+    _, delta, _ = SCHEDULER_MAP[scheduler]
+    n_half = _n_half(
+        params["traffic"], params["capacity"], epsilon, utilization
+    )
+    return CellPlan(
+        kind="mmoo",
+        spec=LaneSpec(
+            setting.traffic, n_half, n_half, hops, setting.capacity,
+            delta, epsilon,
+            s_grid=params["s_grid"], gamma_grid=params["gamma_grid"],
+            backend=params.get("backend", DEFAULT_BACKEND),
+        ),
+        build=lambda bound: _validation_bound_payload(
+            scheduler, hops, utilization, n_half, bound
+        ),
+    )
 
 
 def validation_trial_cell(

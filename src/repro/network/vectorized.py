@@ -160,7 +160,7 @@ def _theta_case_kernel(case, r_svc, r_cross, delta, sigma, x):
     )
 
 
-def batched_solve_exact(service_rates, cross_rates, deltas, sigmas):
+def batched_solve_exact(service_rates, cross_rates, deltas, sigmas, *, case=None):
     """Vectorized :func:`~repro.network.optimization.solve_exact`.
 
     Parameters
@@ -187,8 +187,11 @@ def batched_solve_exact(service_rates, cross_rates, deltas, sigmas):
     delta_in = np.asarray(deltas, dtype=float)
     # scalar delta fixes the Eq. (38) case for every cell: skip the other
     # branches entirely (the expressions are the same, so results match
-    # the general path bitwise)
-    case = _delta_case(float(delta_in)) if delta_in.ndim == 0 else None
+    # the general path bitwise).  Callers batching many lanes of a shared
+    # case but varying delta (the cross-cell EDF fixed point) pass `case`
+    # explicitly.
+    if case is None:
+        case = _delta_case(float(delta_in)) if delta_in.ndim == 0 else None
     r_cross = np.broadcast_to(np.asarray(cross_rates, dtype=float), shape)
     delta = np.broadcast_to(delta_in, shape)
     sigma = np.broadcast_to(
@@ -760,6 +763,104 @@ def _fifo_grid(
     total_k0 = (sigma[:, None] / r_svc).sum(axis=1)
     delays = np.where(k == 0, total_k0, total)
     return np.where(denom > 0.0, delays, np.inf)
+
+
+def e2e_delay_grid_rows(
+    throughs: Sequence[EBB],
+    crosses: Sequence[EBB],
+    hops: int,
+    capacity: float,
+    deltas: Sequence[float],
+    epsilon: float,
+    gammas,
+) -> np.ndarray:
+    """Row-stacked :func:`e2e_delay_grid`: many lanes, one array program.
+
+    Row ``i`` of the ``(lanes, grid)`` result equals
+    ``e2e_delay_grid(throughs[i], crosses[i], hops, capacity, deltas[i],
+    epsilon, gammas[i])`` bitwise: every kernel expression is elementwise
+    (or row-local, for the candidate solves), so stacking lanes into
+    taller arrays evaluates the identical IEEE sequence per row.  All
+    ``deltas`` must fall in the same Eq. (38) case (the batch planner
+    groups lanes accordingly); ``hops``, ``capacity`` and ``epsilon`` are
+    shared across the stack.
+    """
+    g = np.asarray(gammas, dtype=float)
+    if g.ndim != 2:
+        raise ValueError("gammas must be (lanes, grid)")
+    lanes, grid = g.shape
+    delta_row = np.asarray(deltas, dtype=float)
+    case = _delta_case(float(delta_row[0]))
+    if any(_delta_case(float(d)) != case for d in delta_row[1:]):
+        raise ValueError("all deltas must share one Eq. (38) case")
+    tp = np.array([t.prefactor for t in throughs])[:, None]
+    td = np.array([t.decay for t in throughs])[:, None]
+    tr = np.array([t.rate for t in throughs])[:, None]
+    cp = np.array([c.prefactor for c in crosses])[:, None]
+    cd = np.array([c.decay for c in crosses])[:, None]
+    cr = np.array([c.rate for c in crosses])[:, None]
+
+    feasible = (hops + 1) * g < (capacity - cr) - tr
+    # sigma: batched_sigma_for_epsilon with per-row EBB constants.  The
+    # scalar `w` accumulation stays a scalar loop per row (same floats).
+    w_rows = np.empty((lanes, 1))
+    for i, (t, c) in enumerate(zip(throughs, crosses)):
+        w = 1.0 / t.decay
+        for _ in range(hops):
+            w += 1.0 / c.decay
+        w_rows[i, 0] = w
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        geo_t = -np.expm1(-td * g)
+        geo_c = -np.expm1(-cd * g)
+        log_m = np.log(w_rows) + np.log((tp / geo_t) * td) / (td * w_rows)
+        last = cp / geo_c
+        inflated = last / geo_c
+        term_inflated = np.log(inflated * cd) / (cd * w_rows)
+        for _ in range(hops - 1):
+            log_m = log_m + term_inflated
+        log_m = log_m + np.log(last * cd) / (cd * w_rows)
+        prefactor = np.exp(log_m)
+        alpha = 1.0 / w_rows
+        sigma = np.maximum(0.0, np.log(prefactor / epsilon) / alpha)
+        sigma = np.where((geo_t <= 0.0) | (geo_c <= 0.0), np.inf, sigma)
+
+        any_zero = bool(np.any(delta_row == 0.0))
+        if any_zero and not np.all(delta_row == 0.0):
+            # the scalar path dispatches delta == 0 to the Eq. (44)
+            # closed form; mixing it with the exact solve would break
+            # the bitwise contract for the zero rows
+            raise ValueError("cannot mix delta == 0 with other deltas")
+        if case == "pinf":
+            denom = (capacity - (hops - 1) * g) - (cr + g)
+            delays = np.where(denom > 0.0, sigma / denom, np.inf)
+        elif any_zero:
+            delays = _fifo_grid(
+                hops,
+                capacity,
+                np.repeat(cr[:, 0], grid),
+                g.reshape(lanes * grid),
+                sigma.reshape(lanes * grid),
+            ).reshape(lanes, grid)
+        else:
+            h_index = np.arange(hops, dtype=float)
+            g_flat = g.reshape(lanes * grid)
+            r_svc = capacity - h_index[None, :] * g_flat[:, None]
+            r_cross = (cr + g).reshape(lanes * grid)[:, None]
+            d_flat = np.repeat(delta_row, grid)[:, None]
+            delays, _, _ = batched_solve_exact(
+                r_svc,
+                r_cross,
+                np.broadcast_to(d_flat, r_svc.shape),
+                sigma.reshape(lanes * grid),
+                case=case,
+            )
+            delays = delays.reshape(lanes, grid)
+        delays = np.where(feasible & np.isfinite(sigma), delays, np.inf)
+    if obs.enabled():
+        obs.add("vectorized.grid_row_calls")
+        obs.add("vectorized.grid_row_lanes", lanes)
+        obs.add("vectorized.grid_points", int(g.size))
+    return delays
 
 
 def _e2e_probe(

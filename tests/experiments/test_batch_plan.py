@@ -1,0 +1,111 @@
+"""The batch planner: grouping, chunking, fallbacks, and diagnostics."""
+
+import pytest
+
+from repro import obs
+from repro.experiments.batch import (
+    MAX_LANES,
+    Batch,
+    execute_batch,
+    plan_batches,
+    plan_cell,
+)
+from repro.experiments.example1 import fig2_spec
+from repro.experiments.example3 import fig4_spec
+from repro.experiments.sweep import Cell, SweepSpec
+from repro.experiments.validation import validation_spec
+
+
+def test_plan_groups_by_kind():
+    """EDF and Delta cells of one figure land in separate lane groups."""
+    spec = fig2_spec(utilizations=(0.20, 0.50), hops=(2, 5))
+    batches = plan_batches(spec)
+    kinds = sorted(batch.kind for batch in batches)
+    assert kinds == ["edf", "mmoo"]
+    covered = sorted(i for batch in batches for i in batch.indices)
+    assert covered == list(range(len(spec.cells)))
+    # BMUX and FIFO share the mmoo group; EDF has its own
+    mmoo = next(b for b in batches if b.kind == "mmoo")
+    schedulers = {cell.kwargs["scheduler"] for cell in mmoo.cells}
+    assert schedulers == {"BMUX", "FIFO"}
+
+
+def test_plan_fallback_cells_are_singletons():
+    """Unbatchable cells (additive baseline, trial cells) run per-cell."""
+    spec = fig4_spec(hops=(1, 2), utilizations=(0.10,))
+    batches = plan_batches(spec)
+    fallback = [b for b in batches if b.kind == "cells"]
+    assert len(fallback) == 2  # one per "BMUX additive" cell
+    assert all(len(b.indices) == 1 for b in fallback)
+    for batch in fallback:
+        assert batch.cells[0].kwargs["scheduler"] == "BMUX additive"
+
+    vspec = validation_spec(hops=(1,), n_trials=2, slots=100)
+    vbatches = plan_batches(vspec)
+    trial_fallback = [b for b in vbatches if b.kind == "cells"]
+    assert all(
+        b.cells[0].fn.endswith("validation_trial_cell")
+        for b in trial_fallback
+    )
+
+
+def test_plan_respects_max_lanes():
+    spec = fig2_spec(
+        utilizations=(0.20, 0.35, 0.50, 0.65, 0.80), hops=(2, 5, 10)
+    )
+    batches = plan_batches(spec, max_lanes=4)
+    assert all(len(b.indices) <= 4 for b in batches)
+    covered = sorted(i for b in batches for i in b.indices)
+    assert covered == list(range(len(spec.cells)))
+
+
+def test_plan_splits_for_parallel_jobs():
+    """With jobs > 1 every group splits so the pool has units to balance."""
+    spec = fig2_spec(utilizations=(0.20, 0.35, 0.50), hops=(2, 5))
+    serial = plan_batches(spec, jobs=1)
+    parallel = plan_batches(spec, jobs=2)
+    assert len(parallel) > len(serial)
+    assert sorted(i for b in parallel for i in b.indices) == sorted(
+        i for b in serial for i in b.indices
+    )
+
+
+def test_plan_subset_indices():
+    spec = fig2_spec(utilizations=(0.20, 0.50), hops=(2,))
+    subset = [0, 2, 4]
+    batches = plan_batches(spec, subset)
+    covered = sorted(i for b in batches for i in b.indices)
+    assert covered == subset
+
+
+def test_plan_cell_unknown_fn_is_none():
+    cell = Cell.make("repro.experiments.sweep:probe_cell", value=1.0)
+    assert plan_cell(cell) is None
+
+
+def test_execute_batch_rejects_mismatched_kind():
+    spec = fig2_spec(utilizations=(0.20,), hops=(2,))
+    batches = plan_batches(spec)
+    edf = next(b for b in batches if b.kind == "edf")
+    wrong = Batch(kind="mmoo", indices=edf.indices, cells=edf.cells)
+    with pytest.raises(ValueError, match="do not\\s+plan"):
+        execute_batch(wrong)
+
+
+def test_plan_batches_records_metrics():
+    spec = fig4_spec(hops=(1,), utilizations=(0.10,))
+    with obs.scoped(enabled=True) as registry:
+        plan_batches(spec)
+        assert registry.counter("batch.planned") > 0
+        assert registry.counter("batch.fallback_cells") == 1
+        occupancy = registry.series("batch.occupancy")
+        assert occupancy and max(occupancy) <= MAX_LANES
+
+
+def test_plan_is_deterministic():
+    spec = fig2_spec(utilizations=(0.20, 0.50), hops=(2, 5))
+    first = plan_batches(spec)
+    second = plan_batches(spec)
+    assert [(b.kind, b.indices) for b in first] == [
+        (b.kind, b.indices) for b in second
+    ]

@@ -1,0 +1,163 @@
+"""Streaming artifacts: always-valid JSON, and crash-resume via cache.
+
+The satellite requirement: a sweep killed mid-run must leave a *valid*
+JSON artifact containing every completed cell, and re-running the same
+sweep must finish from the cache, recomputing only the cells that were
+still in flight.  The kill test runs a real sweep in a subprocess and
+SIGKILLs it (no cleanup handlers get to run — the atomicity of the
+writer is all that protects the file).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.cache import CellCache
+from repro.experiments.runner import dict_rows_to_csv, write_json_artifact
+from repro.experiments.stream import StreamingArtifactWriter
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _probe_spec(record: str, sleep_ms: float = 0.0, n: int = 6) -> SweepSpec:
+    cells = [
+        Cell.make(
+            "repro.experiments.sweep:probe_cell",
+            value=float(i), series="probe", record=record,
+            sleep_ms=sleep_ms,
+        )
+        for i in range(n)
+    ]
+    return SweepSpec.build("stream-test", cells, x_label="x")
+
+
+def test_writer_starts_valid_and_tracks_completions(tmp_path):
+    record = tmp_path / "record.txt"
+    spec = _probe_spec(str(record), n=3)
+    json_path = tmp_path / "artifact.json"
+    csv_path = tmp_path / "artifact.csv"
+    writer = StreamingArtifactWriter(
+        spec, str(json_path), csv_path=str(csv_path),
+        csv_rows=dict_rows_to_csv, meta={"command": "test"},
+    )
+    # valid and empty before any cell completes
+    initial = json.loads(json_path.read_text())
+    assert initial["partial"] is True
+    assert initial["completed_cells"] == 0
+    assert initial["n_cells"] == 3
+
+    result = run_sweep(spec, on_cell=writer.on_cell)
+    partial = json.loads(json_path.read_text())
+    assert partial["completed_cells"] == 3
+    assert [c["index"] for c in partial["cells"]] == [0, 1, 2]
+    assert partial["rows"] == result.rows
+    assert csv_path.read_text() == dict_rows_to_csv(result.rows)
+    assert not json_path.with_suffix(".json.tmp").exists()
+
+    final = writer.finalize(result, meta={"command": "test"})
+    on_disk = json.loads(json_path.read_text())
+    assert "partial" not in on_disk
+    assert on_disk == json.loads(json.dumps(final))
+
+
+def test_finalize_matches_write_json_artifact(tmp_path):
+    spec = _probe_spec(str(tmp_path / "r.txt"), n=2)
+    result = run_sweep(spec)
+    writer = StreamingArtifactWriter(
+        spec, str(tmp_path / "streamed.json"), meta={"m": 1}
+    )
+    writer.finalize(result)
+    write_json_artifact(
+        tmp_path / "direct.json", result.to_artifact(meta={"m": 1})
+    )
+    assert (
+        (tmp_path / "streamed.json").read_bytes()
+        == (tmp_path / "direct.json").read_bytes()
+    )
+
+
+def test_out_of_order_completions_keep_grid_order(tmp_path):
+    spec = _probe_spec(str(tmp_path / "r.txt"), n=4)
+    writer = StreamingArtifactWriter(spec, str(tmp_path / "a.json"))
+    payload = {"rows": [{"series": "probe", "x": 0.0, "delay": 0.0}]}
+    writer.on_cell(3, payload, False)
+    writer.on_cell(1, payload, True)
+    partial = json.loads((tmp_path / "a.json").read_text())
+    assert [c["index"] for c in partial["cells"]] == [1, 3]
+    assert partial["cells"][0]["cached"] is True
+    assert partial["cells"][1]["cached"] is False
+
+
+_KILL_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.cache import CellCache
+from repro.experiments.stream import StreamingArtifactWriter
+from repro.experiments.sweep import Cell, SweepSpec, run_sweep
+
+cells = [
+    Cell.make(
+        "repro.experiments.sweep:probe_cell",
+        value=float(i), series="probe", record={record!r},
+        sleep_ms=300.0,
+    )
+    for i in range(6)
+]
+spec = SweepSpec.build("stream-test", cells, x_label="x")
+writer = StreamingArtifactWriter(spec, {json_path!r})
+run_sweep(spec, cache=CellCache({cache_dir!r}), on_cell=writer.on_cell)
+print("COMPLETE")
+"""
+
+
+def test_killed_sweep_leaves_valid_artifact_and_resumes(tmp_path):
+    record = tmp_path / "record.txt"
+    json_path = tmp_path / "artifact.json"
+    cache_dir = tmp_path / "cache"
+    script = _KILL_SCRIPT.format(
+        src=SRC, record=str(record), json_path=str(json_path),
+        cache_dir=str(cache_dir),
+    )
+    proc = subprocess.Popen([sys.executable, "-c", script])
+    try:
+        # wait until at least two cells landed in the artifact, then kill
+        deadline = time.time() + 60.0
+        completed = 0
+        while time.time() < deadline:
+            if json_path.exists():
+                try:
+                    completed = json.loads(json_path.read_text()).get(
+                        "completed_cells", 0
+                    )
+                except json.JSONDecodeError as exc:  # must never happen
+                    raise AssertionError(
+                        "artifact unreadable while sweep runs"
+                    ) from exc
+                if completed >= 2:
+                    break
+            time.sleep(0.02)
+        assert completed >= 2, "sweep made no progress before the deadline"
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+    assert proc.returncode != 0  # really was killed, not complete
+
+    partial = json.loads(json_path.read_text())
+    assert partial["partial"] is True
+    n_done = partial["completed_cells"]
+    assert 2 <= n_done < 6
+    assert len(partial["cells"]) == n_done
+    runs_before = record.read_text().count("run")
+
+    # re-run to completion: completed cells come from the cache
+    spec = _probe_spec(str(record), sleep_ms=300.0, n=6)
+    result = run_sweep(spec, cache=CellCache(str(cache_dir)))
+    assert result.cached_cells == n_done
+    assert len(result.rows) == 6
+    runs_after = record.read_text().count("run")
+    assert runs_after - runs_before == 6 - n_done

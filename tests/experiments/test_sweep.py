@@ -7,6 +7,7 @@ from repro.experiments.example3 import fig4_spec
 from repro.experiments.executor import (
     ParallelExecutor,
     SerialExecutor,
+    WorkStealingExecutor,
     make_executor,
 )
 from repro.experiments.sweep import (
@@ -79,7 +80,7 @@ class TestCellKey:
 class TestExecutors:
     def test_make_executor(self):
         assert isinstance(make_executor(1), SerialExecutor)
-        assert isinstance(make_executor(3), ParallelExecutor)
+        assert isinstance(make_executor(3), WorkStealingExecutor)
         with pytest.raises(ValueError):
             ParallelExecutor(0)
 
