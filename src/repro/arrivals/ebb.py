@@ -31,6 +31,7 @@ from repro.arrivals.statistical import (
     StatisticalEnvelope,
     combine_bounds,
 )
+from repro.utils.numeric import safe_exp
 from repro.utils.validation import check_positive
 
 
@@ -66,7 +67,7 @@ class EBB:
         ``t - s = length`` (clipped to [0, 1])."""
         if length < 0:
             raise ValueError("interval length must be >= 0")
-        return min(1.0, self.prefactor * math.exp(-self.decay * sigma))
+        return min(1.0, self.prefactor * safe_exp(-self.decay * sigma))
 
     def sample_path_envelope(self, gamma: float) -> StatisticalEnvelope:
         """Discrete-time statistical sample-path envelope (paper Sec. IV).

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 
 from repro.arrivals.ebb import EBB
+from repro.utils.numeric import safe_exp
 from repro.utils.validation import check_in_range, check_positive
 
 
@@ -103,7 +104,7 @@ class MMOOParameters:
         ``eb(inf) = peak``.
         """
         check_positive(s, "s")
-        exp_sp = math.exp(s * self.peak)
+        exp_sp = safe_exp(s * self.peak)
         a = self.p11 + self.p22 * exp_sp
         disc = a * a - 4.0 * (self.p11 + self.p22 - 1.0) * exp_sp
         # the discriminant of a real 2x2 stochastic-matrix eigenproblem is

@@ -19,16 +19,12 @@ the infimum in Eq. (33) may be taken over unconstrained splits.
 from __future__ import annotations
 
 import math
-import sys
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.algebra.functions import PiecewiseLinear
-from repro.utils.numeric import weighted_union_bound_constant
+from repro.utils.numeric import safe_exp, weighted_union_bound_constant
 from repro.utils.validation import check_positive, check_probability
-
-#: Largest exponent ``math.exp`` accepts without overflowing a double.
-_MAX_EXP = math.log(sys.float_info.max)
 
 
 @dataclass(frozen=True)
@@ -61,9 +57,7 @@ class ExponentialBound:
         if self.prefactor == 0.0:
             return 0.0
         exponent = math.log(self.prefactor) - self.decay * sigma
-        if exponent > _MAX_EXP:
-            return math.inf
-        return math.exp(exponent)
+        return safe_exp(exponent)
 
     def probability(self, sigma: float) -> float:
         """The bound clipped to a valid probability in [0, 1].

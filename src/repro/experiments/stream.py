@@ -55,7 +55,7 @@ class StreamingArtifactWriter:
         csv_path: str | None = None,
         csv_rows: Callable[[Iterable[Mapping[str, Any]]], str] | None = None,
         meta: Mapping[str, Any] | None = None,
-    ):
+    ) -> None:
         self.spec = spec
         self.keys = spec.keys()
         self.json_path = json_path

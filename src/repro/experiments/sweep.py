@@ -153,7 +153,7 @@ def execute_cell_traced(item: tuple[Cell, float]) -> dict[str, Any]:
     return payload
 
 
-def probe_cell(**params: Any) -> dict[str, Any]:
+def probe_cell(**params: Any) -> dict[str, Any]:  # repro: noqa=RPR002 -- diagnostic cell: accepts arbitrary probe params by design, never cached for results
     """A trivial cell used by the test suite to observe executions.
 
     If ``record`` names a file, one line is appended per execution (so
@@ -163,11 +163,11 @@ def probe_cell(**params: Any) -> dict[str, Any]:
     """
     record = params.get("record")
     if record:
-        with open(record, "a") as handle:
+        with open(record, "a") as handle:  # repro: noqa=RPR001 -- deliberate I/O: tests count executions via this side channel
             handle.write("run\n")
     sleep_ms = float(params.get("sleep_ms", 0.0))
     if sleep_ms > 0.0:
-        time.sleep(sleep_ms / 1000.0)
+        time.sleep(sleep_ms / 1000.0)  # repro: noqa=RPR001 -- deliberate delay: interruption tests stretch cell runtime
     value = float(params.get("value", 0.0))
     return {
         "rows": [

@@ -1,0 +1,57 @@
+"""repro.lint — AST-based invariant checker for the repro codebase.
+
+The repo's correctness rests on conventions no generic linter knows:
+content-keyed cell caching is only sound if cells are pure functions of
+their params, the ``backend=`` selector is only trustworthy while every
+backend is covered by an equivalence test, and the process-pool
+executors silently require everything crossing the boundary to pickle.
+``repro.lint`` encodes those invariants as named, suppressible rules
+(RPR001-RPR006) over the project's ASTs.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.lint              # gate (exit 1 on findings)
+    PYTHONPATH=src python -m repro.lint --explain RPR001
+    PYTHONPATH=src python -m repro.lint --format sarif --output lint.sarif
+
+Suppress a justified false positive inline::
+
+    time.sleep(wait)  # repro: noqa=RPR001 -- diagnostic probe cell
+
+Programmatic use::
+
+    from repro.lint import LintConfig, lint_repo
+    report = lint_repo(Path("."), config=LintConfig())
+    assert report.ok, report.violations
+"""
+
+from repro.lint.core import (
+    LintConfig,
+    LintReport,
+    SourceFile,
+    Violation,
+    collect_files,
+    lint_files,
+    lint_repo,
+    load_source_file,
+)
+from repro.lint.explain import EXPLANATIONS, explain
+from repro.lint.output import format_json, format_sarif, format_text
+from repro.lint.rules import RULES
+
+__all__ = [
+    "EXPLANATIONS",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "SourceFile",
+    "Violation",
+    "collect_files",
+    "explain",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "lint_files",
+    "lint_repo",
+    "load_source_file",
+]

@@ -1,0 +1,209 @@
+"""``python -m repro.lint`` — run the invariant checker.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.  On failure the
+tool prints exact-command hints (mirroring ``benchmarks/
+check_regression.py``): how to read the rule's rationale and how to
+suppress a justified false positive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.core import (
+    LintConfig,
+    LintReport,
+    collect_files,
+    lint_files,
+    lint_repo,
+)
+from repro.lint.explain import EXPLANATIONS, explain
+from repro.lint.output import format_json, format_sarif, format_text
+from repro.lint.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker: cache purity, backend parity, "
+            "executor safety, obs conventions, numeric safety."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=(
+            "files or directories to lint (default: the repository's "
+            "src/repro, with tests/ indexed for cross-references)"
+        ),
+    )
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detect from this package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RPRxxx",
+        default=None,
+        help="print the rationale and fix guidance for one rule and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show justified suppressions in text output",
+    )
+    return parser
+
+
+def _split_codes(raw: str) -> tuple[str, ...]:
+    return tuple(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
+
+
+def _run(args: argparse.Namespace) -> LintReport:
+    config = LintConfig(
+        select=_split_codes(args.select), ignore=_split_codes(args.ignore)
+    )
+    if args.paths:
+        src_files = []
+        for path in args.paths:
+            root = path if path.is_dir() else path.parent
+            if path.is_dir():
+                src_files.extend(collect_files(path, root=root))
+            else:
+                from repro.lint.core import load_source_file
+
+                src_files.append(load_source_file(path, root=root))
+        return lint_files(src_files, config=config)
+    repo_root = args.repo_root
+    if repo_root is None:
+        # src/repro/lint/__main__.py -> repository root three levels up.
+        repo_root = Path(__file__).resolve().parents[3]
+    if not (repo_root / "src" / "repro").is_dir():
+        raise SystemExit(
+            f"error: {repo_root} does not look like the repository root "
+            "(no src/repro); pass --repo-root or explicit paths"
+        )
+    return lint_repo(repo_root, config=config)
+
+
+def _failure_hints(report: LintReport) -> str:
+    rules = sorted(report.counts)
+    example = rules[0] if rules else "RPR001"
+    lines = [
+        "",
+        "repro.lint failed. To understand a rule:",
+    ]
+    for rule in rules:
+        lines.append(
+            f"  PYTHONPATH=src python -m repro.lint --explain {rule}"
+        )
+    lines.extend(
+        [
+            "",
+            "If a finding is a false positive, suppress it on its line "
+            "with a justification:",
+            f"  # repro: noqa={example} -- <why the invariant does not "
+            "apply here>",
+            "",
+            "Re-run locally with:",
+            "  PYTHONPATH=src python -m repro.lint",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("RPR000  suppression-hygiene  "
+              "noqa suppressions must carry a justification")
+        for rule in RULES:
+            print(f"{rule.id}  {rule.name}  {rule.summary}")
+        return 0
+
+    if args.explain is not None:
+        text = explain(args.explain)
+        if text is None:
+            known = ", ".join(sorted(EXPLANATIONS))
+            print(
+                f"unknown rule {args.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
+    try:
+        report = _run(args)
+    except SystemExit as exit_error:
+        print(exit_error, file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        rendered = format_json(report)
+    elif args.format == "sarif":
+        rendered = format_sarif(report)
+    else:
+        rendered = format_text(report, verbose=args.verbose)
+
+    if args.output is not None:
+        args.output.write_text(rendered + "\n")
+        if args.format != "text":
+            # Keep the human-readable summary on stdout.
+            print(format_text(report, verbose=args.verbose))
+    else:
+        print(rendered)
+
+    if not report.ok:
+        print(_failure_hints(report), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,405 @@
+"""The invariant-lint framework: files, suppressions, config, engine.
+
+The repo's correctness rests on conventions no generic linter checks —
+cell purity for the content-keyed cache, backend parity for the
+``backend=`` selector, picklability across the executor boundary (see
+``python -m repro.lint --explain RPRxxx`` for the catalog).  This
+module is the rule-agnostic machinery:
+
+* :class:`Violation` — one finding: rule id, location, message.
+* :class:`SourceFile` — a parsed file: path, module name, AST, and its
+  inline suppressions.
+* **Suppressions** — ``# repro: noqa=RPR001 -- justification`` on the
+  reported line silences that rule there.  The justification is
+  mandatory: a bare ``noqa`` is itself reported (as ``RPR000``), so
+  every suppression documents *why* the invariant does not apply.
+* :class:`LintConfig` — which rules run plus per-rule options
+  (frozen dataclasses, one per rule, with repo defaults).
+* :func:`lint_files` / :func:`lint_repo` — the engine: build the
+  cross-file :class:`~repro.lint.project.ProjectIndex`, run every
+  selected rule over every target file, apply suppressions.
+
+Rules themselves live in :mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "Noqa",
+    "SourceFile",
+    "Violation",
+    "collect_files",
+    "lint_files",
+    "lint_repo",
+    "load_source_file",
+]
+
+#: Inline suppression syntax.  The justification after ``--`` is
+#: required (enforced as RPR000); multiple codes separate with commas.
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa=(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*\S|\S))?\s*$"
+)
+
+#: Directory names never walked for lintable or index files (fixture
+#: snippets under tests/lint/fixtures/ are deliberately violating).
+EXCLUDED_DIR_NAMES = ("fixtures", "__pycache__")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Noqa:
+    """One parsed ``# repro: noqa=...`` directive."""
+
+    line: int
+    codes: frozenset[str]
+    justification: str | None
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A parsed Python file plus the metadata rules need."""
+
+    path: Path
+    rel: str
+    module: str | None
+    text: str
+    tree: ast.Module
+    noqa: Mapping[int, Noqa]
+    is_test: bool
+
+    def violation(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Violation:
+        """A :class:`Violation` of ``rule`` anchored at ``node``."""
+        return Violation(
+            rule=rule,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def parse_noqa(text: str) -> dict[int, Noqa]:
+    """Line number -> suppression directive, for every noqa comment."""
+    directives: dict[int, Noqa] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = NOQA_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        directives[number] = Noqa(
+            line=number, codes=codes, justification=match.group("why")
+        )
+    return directives
+
+
+def module_name_for(path: Path, root: Path) -> str | None:
+    """Dotted module name of ``path`` relative to package root ``root``."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return None
+    parts = list(rel.parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else None
+
+
+def load_source_file(
+    path: Path, *, root: Path, rel_to: Path | None = None, is_test: bool = False
+) -> SourceFile:
+    """Parse ``path`` into a :class:`SourceFile`.
+
+    ``root`` is the package root the dotted module name is derived
+    from; ``rel_to`` (default ``root``) anchors the *displayed* path.
+    """
+    text = path.read_text()
+    tree = ast.parse(text, filename=str(path))
+    base = rel_to if rel_to is not None else root
+    try:
+        rel = path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return SourceFile(
+        path=path,
+        rel=rel,
+        module=module_name_for(path, root),
+        text=text,
+        tree=tree,
+        noqa=parse_noqa(text),
+        is_test=is_test,
+    )
+
+
+def collect_files(
+    directory: Path,
+    *,
+    root: Path,
+    rel_to: Path | None = None,
+    is_test: bool = False,
+) -> list[SourceFile]:
+    """Every ``.py`` file under ``directory``, parsed, in sorted order."""
+    files = []
+    for path in sorted(directory.rglob("*.py")):
+        if any(part in EXCLUDED_DIR_NAMES for part in path.parts):
+            continue
+        files.append(
+            load_source_file(path, root=root, rel_to=rel_to, is_test=is_test)
+        )
+    return files
+
+
+# --------------------------------------------------------------------- #
+# per-rule options (repo defaults; override programmatically or not at all)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PurityOptions:
+    """RPR001: what a registered sweep-cell function must not touch."""
+
+    #: Modules whose mere use inside a cell is nondeterministic state.
+    forbidden_modules: tuple[str, ...] = ("random", "secrets", "uuid")
+    #: Dotted prefixes (resolved through import aliases) a cell must not
+    #: read: wall clocks, process environment, ambient RNG.
+    forbidden_attributes: tuple[str, ...] = (
+        "time.",
+        "os.environ",
+        "os.getenv",
+        "os.putenv",
+        "os.urandom",
+        "datetime.",
+        "numpy.random.",
+        "socket.",
+    )
+    #: Builtin calls that reach outside the params -> payload contract.
+    forbidden_calls: tuple[str, ...] = ("open", "input", "eval", "exec")
+
+
+@dataclass(frozen=True)
+class CacheKeyOptions:
+    """RPR002: what may appear in a cell signature (= the cache key)."""
+
+    #: Annotation names accepted as JSON-canonicalizable plain values.
+    allowed_annotations: tuple[str, ...] = (
+        "str", "int", "float", "bool", "tuple", "None",
+    )
+
+
+@dataclass(frozen=True)
+class ParityOptions:
+    """RPR003: the registered backends every ``backend=`` API must cover."""
+
+    backends: tuple[str, ...] = ("numpy", "scalar")
+
+
+@dataclass(frozen=True)
+class PicklabilityOptions:
+    """RPR004: how work reaches the process-pool executors."""
+
+    #: Method names whose first argument fans out across processes.
+    boundary_attributes: tuple[str, ...] = (
+        "map", "map_stream", "imap", "imap_unordered", "map_async",
+    )
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """RPR005: metric naming and span usage conventions."""
+
+    #: Registered metric namespaces (the segment before the first dot).
+    namespaces: tuple[str, ...] = (
+        "batch", "cache", "cell", "cli", "cprobe", "e2e", "executor",
+        "lanes", "lint", "numeric", "obs", "optimization", "rare",
+        "simulation", "sweep", "topology", "vectorized",
+    )
+    #: Modules exempt from the rule (the obs facade itself).
+    exempt_modules: tuple[str, ...] = ("repro.obs",)
+
+
+@dataclass(frozen=True)
+class NumericOptions:
+    """RPR006: where bare ``math.exp`` is banned."""
+
+    #: Dotted module prefixes counted as hot kernels.
+    hot_modules: tuple[str, ...] = (
+        "repro.algebra.",
+        "repro.arrivals.",
+        "repro.network.",
+        "repro.simulation.",
+        "repro.singlenode.",
+    )
+    #: The blessed overflow-safe helper.
+    helper: str = "repro.utils.numeric.safe_exp"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, with what options."""
+
+    #: Rule ids to run; empty means every registered rule.
+    select: tuple[str, ...] = ()
+    #: Rule ids to skip (applied after ``select``).
+    ignore: tuple[str, ...] = ()
+    purity: PurityOptions = field(default_factory=PurityOptions)
+    cache_key: CacheKeyOptions = field(default_factory=CacheKeyOptions)
+    parity: ParityOptions = field(default_factory=ParityOptions)
+    pickle: PicklabilityOptions = field(default_factory=PicklabilityOptions)
+    obs: ObsOptions = field(default_factory=ObsOptions)
+    numeric: NumericOptions = field(default_factory=NumericOptions)
+
+    def active_rule_ids(self, all_ids: Iterable[str]) -> tuple[str, ...]:
+        chosen = [
+            rule_id
+            for rule_id in all_ids
+            if (not self.select or rule_id in self.select)
+            and rule_id not in self.ignore
+        ]
+        return tuple(chosen)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run found."""
+
+    violations: tuple[Violation, ...]
+    suppressed: tuple[tuple[Violation, str], ...]
+    checked_files: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _apply_suppressions(
+    file: SourceFile, found: Iterable[Violation]
+) -> tuple[list[Violation], list[tuple[Violation, str]]]:
+    """Split raw findings into (active, suppressed-with-justification)."""
+    active: list[Violation] = []
+    suppressed: list[tuple[Violation, str]] = []
+    for violation in found:
+        directive = file.noqa.get(violation.line)
+        # RPR000 is never suppressible: `# repro: noqa=RPR000` would
+        # otherwise silence its own missing-justification finding.
+        if (
+            directive is not None
+            and violation.rule in directive.codes
+            and violation.rule != "RPR000"
+        ):
+            suppressed.append((violation, directive.justification or ""))
+        else:
+            active.append(violation)
+    return active, suppressed
+
+
+def _noqa_hygiene(file: SourceFile) -> Iterator[Violation]:
+    """RPR000: every suppression must carry a justification."""
+    for directive in file.noqa.values():
+        if not directive.justification:
+            yield Violation(
+                rule="RPR000",
+                path=file.rel,
+                line=directive.line,
+                col=1,
+                message=(
+                    "suppression without a justification; write "
+                    "`# repro: noqa="
+                    + ",".join(sorted(directive.codes))
+                    + " -- <why the invariant does not apply here>`"
+                ),
+            )
+
+
+def lint_files(
+    src_files: Sequence[SourceFile],
+    test_files: Sequence[SourceFile] = (),
+    *,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run the selected rules over ``src_files``.
+
+    ``test_files`` are parsed into the project index (rule RPR003
+    cross-references them for backend-equivalence evidence) but are not
+    themselves lint targets.
+    """
+    # Imported here: rules import this module for the framework types.
+    from repro.lint.project import ProjectIndex
+    from repro.lint.rules import RULES
+
+    config = config or LintConfig()
+    index = ProjectIndex.build(
+        list(src_files) + list(test_files), config=config
+    )
+    active_ids = config.active_rule_ids([rule.id for rule in RULES])
+    rules = [rule for rule in RULES if rule.id in active_ids]
+
+    violations: list[Violation] = []
+    suppressed: list[tuple[Violation, str]] = []
+    for file in src_files:
+        found: list[Violation] = []
+        for rule in rules:
+            found.extend(rule.check(file, index, config))
+        found.extend(_noqa_hygiene(file))
+        found.sort(key=lambda v: (v.line, v.col, v.rule))
+        kept, quiet = _apply_suppressions(file, found)
+        violations.extend(kept)
+        suppressed.extend(quiet)
+    return LintReport(
+        violations=tuple(violations),
+        suppressed=tuple(suppressed),
+        checked_files=len(src_files),
+    )
+
+
+def lint_repo(
+    repo_root: Path, *, config: LintConfig | None = None
+) -> LintReport:
+    """Lint the repository layout: ``src/repro`` gated, ``tests/`` indexed."""
+    src_root = repo_root / "src"
+    src_files = collect_files(
+        src_root / "repro", root=src_root, rel_to=repo_root
+    )
+    tests_dir = repo_root / "tests"
+    test_files = (
+        collect_files(
+            tests_dir, root=repo_root, rel_to=repo_root, is_test=True
+        )
+        if tests_dir.is_dir()
+        else []
+    )
+    return lint_files(src_files, test_files, config=config)

@@ -1,0 +1,151 @@
+"""Long-form rule documentation for ``python -m repro.lint --explain``.
+
+Each entry states the invariant, why the repo depends on it, what the
+checker actually looks at, and how to fix or suppress a finding.  The
+same catalog feeds the SARIF rule metadata.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EXPLANATIONS", "explain"]
+
+EXPLANATIONS: dict[str, str] = {
+    "RPR000": """\
+RPR000 — suppression hygiene
+
+Every inline suppression must carry a justification:
+
+    # repro: noqa=RPR001 -- deliberate I/O: diagnostic probe cell
+
+A bare `# repro: noqa=RPRxxx` is reported as RPR000.  The justification
+is the reviewable artifact: it records *why* the invariant does not
+apply at that line, so a suppression never silently outlives its
+reason.  RPR000 itself cannot be suppressed.
+""",
+    "RPR001": """\
+RPR001 — cell purity
+
+Functions registered as sweep cells (via `Cell.make("module:function")`
+or a `*_CELL_FN` constant) are cached by a content hash of
+(qualname, params).  The cache is only sound if the cell is a
+deterministic pure function of its parameters, so inside a cell body
+the checker forbids:
+
+  * nondeterministic modules: random, secrets, uuid
+  * ambient state: time.*, os.environ/getenv, datetime.*, numpy.random.*
+  * I/O builtins: open(), input(), eval(), exec()
+  * global / nonlocal declarations
+  * reading module-level *mutable* state — any module name that is
+    rebound, written through a subscript/attribute, or mutated in
+    place (append/update/...) anywhere in its module
+  * free variables that resolve to nothing at all
+
+Never-mutated module constants, imports, and top-level definitions are
+fine: they are part of the code content the cache already keys on.
+The cell must also be a top-level function so the sweep runner can
+resolve and pickle it.
+
+Fix: thread the offending value through the cell's keyword parameters,
+or hoist it into a real module constant.  For a deliberately
+side-effectful diagnostic cell, suppress with a justified noqa.
+""",
+    "RPR002": """\
+RPR002 — cache-key soundness
+
+Cell parameters *are* the cache key: they are canonicalized to JSON and
+hashed.  A parameter that does not canonicalize either crashes the
+cache or, worse, hashes unstably across runs and silently defeats it.
+The checker requires registered cells to declare:
+
+  * keyword-only parameters (the sweep grid passes params by name)
+  * no *args / **kwargs — the key needs an explicit parameter list
+  * annotations drawn from JSON-canonicalizable types: str, int,
+    float, bool, None, tuple[...] of the same, Optional/Union/Literal
+    combinations, or a frozen dataclass
+  * defaults that are literals, literal tuples, or module constants
+
+Fix: tighten the annotation (e.g. `traffic: tuple` instead of a bare
+object), freeze the dataclass the param carries, or decompose the
+value into plain literals.
+""",
+    "RPR003": """\
+RPR003 — backend parity
+
+Any public function exposing a `backend=` selector is a claim that all
+registered backends (currently: numpy, scalar) compute the same
+answer.  The claim is only trustworthy while an equivalence test
+exercises *every* backend, so the checker cross-references the test
+ASTs and collects evidence per function name:
+
+  * literal keywords: fn(..., backend="scalar")
+  * parametrized loops: for backend in BACKENDS: fn(..., backend=backend)
+    (credited with every backend named in the test module, and all
+    registered backends when the BACKENDS constant itself is used)
+  * cells driven through Cell.make("mod:cell_fn", backend=...)
+
+Fix: add a test that calls the function once per registered backend
+and asserts the results agree (see tests/experiments/
+test_backend_parity.py for the pattern).
+""",
+    "RPR004": """\
+RPR004 — executor picklability
+
+The parallel and work-stealing executors ship work to worker processes
+with pickle.  Two things therefore hold on everything crossing the
+pool boundary (`.map` / `.map_stream` / `.imap` / `Process(target=)`):
+
+  * the mapped callable must be a top-level function — lambdas and
+    nested defs do not pickle
+  * every dataclass reachable through the mapped callable's signature
+    (transitively, through field annotations) must be declared
+    @dataclass(frozen=True), so results are immutable value objects
+    once they fan back in from the pool
+
+Fix: hoist the callable to module level; add frozen=True to the
+flagged dataclass (and fix any in-place field writes that reveals).
+""",
+    "RPR005": """\
+RPR005 — obs conventions
+
+Dashboards and the perf harness key on metric names, so names must be
+statically knowable and namespaced.  The checker enforces, for every
+`obs.add/observe/set_gauge` (and `registry.` equivalents):
+
+  * the metric name is a string literal (or an f-string with a literal
+    `namespace.` prefix) in dotted lower-snake form
+  * the first segment is a registered namespace (batch, cache, cell,
+    cli, cprobe, e2e, executor, lanes, lint, numeric, obs,
+    optimization, rare, simulation, sweep, topology, vectorized)
+
+and for `obs.trace`:
+
+  * spans are opened only as `with obs.trace(...)` so they always
+    close, even on exceptions.
+
+Fix: rename the metric into its subsystem's namespace, or register a
+new namespace in the lint config *and* the obs docs.
+""",
+    "RPR006": """\
+RPR006 — numeric safety
+
+`math.exp` raises OverflowError past ~709.78.  In the hot bound and
+simulation kernels the exponent is a free optimization variable, so a
+sufficiently bad (s, gamma) probe turns a merely-vacuous bound into a
+crash deep inside an argmin sweep.  `repro.utils.numeric.safe_exp` is
+bitwise-identical to math.exp below the overflow knee and saturates to
++inf above it, which propagates honestly through min/argmin searches.
+
+The checker flags every `math.exp(X)` on a non-constant X inside the
+hot modules (repro.algebra, repro.arrivals, repro.network,
+repro.simulation, repro.singlenode).
+
+Fix: `from repro.utils.numeric import safe_exp` and call that instead.
+Vectorized numpy code is unaffected (np.exp overflows to inf with a
+warning, not an exception).
+""",
+}
+
+
+def explain(rule_id: str) -> str | None:
+    """The long-form explanation for ``rule_id``, or None if unknown."""
+    return EXPLANATIONS.get(rule_id.upper())

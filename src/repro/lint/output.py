@@ -1,0 +1,171 @@
+"""Report renderers: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI code-scanning UIs ingest; the
+driver block carries the full rule catalog (short description from the
+rule class, long description from :mod:`repro.lint.explain`) and each
+result maps one :class:`~repro.lint.core.Violation`.  Suppressed
+findings are emitted as SARIF ``suppressions`` so justified noqas stay
+auditable instead of disappearing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.core import LintReport, Violation
+from repro.lint.explain import EXPLANATIONS
+from repro.lint.rules import RULES
+
+__all__ = ["format_json", "format_sarif", "format_text"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro.lint"
+
+
+def format_text(report: LintReport, *, verbose: bool = False) -> str:
+    """One line per violation plus a summary footer."""
+    lines = [violation.render() for violation in report.violations]
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append("suppressed (justified noqa):")
+        for violation, justification in report.suppressed:
+            lines.append(f"  {violation.render()}  [{justification}]")
+    lines.append("")
+    if report.ok:
+        lines.append(
+            f"repro.lint: {report.checked_files} files clean"
+            + (
+                f" ({len(report.suppressed)} justified suppressions)"
+                if report.suppressed
+                else ""
+            )
+        )
+    else:
+        by_rule = ", ".join(
+            f"{rule} x{count}"
+            for rule, count in sorted(report.counts.items())
+        )
+        lines.append(
+            f"repro.lint: {len(report.violations)} violation(s) in "
+            f"{report.checked_files} files ({by_rule})"
+        )
+    return "\n".join(lines)
+
+
+def _violation_dict(violation: Violation) -> dict[str, Any]:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+    }
+
+
+def format_json(report: LintReport) -> str:
+    """Stable machine-readable report."""
+    payload: dict[str, Any] = {
+        "tool": TOOL_NAME,
+        "checked_files": report.checked_files,
+        "ok": report.ok,
+        "violations": [
+            _violation_dict(violation) for violation in report.violations
+        ],
+        "suppressed": [
+            {
+                **_violation_dict(violation),
+                "justification": justification,
+            }
+            for violation, justification in report.suppressed
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    catalog: list[dict[str, Any]] = [
+        {
+            "id": "RPR000",
+            "name": "suppression-hygiene",
+            "shortDescription": {
+                "text": "noqa suppressions must carry a justification"
+            },
+            "fullDescription": {"text": EXPLANATIONS["RPR000"]},
+        }
+    ]
+    for rule in RULES:
+        catalog.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {
+                    "text": EXPLANATIONS.get(rule.id, rule.summary)
+                },
+            }
+        )
+    return catalog
+
+
+def _sarif_result(
+    violation: Violation, justification: str | None = None
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                }
+            }
+        ],
+    }
+    if justification is not None:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": justification,
+            }
+        ]
+    return result
+
+
+def format_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log with rule metadata and in-source suppressions."""
+    results = [
+        _sarif_result(violation) for violation in report.violations
+    ]
+    results.extend(
+        _sarif_result(violation, justification)
+        for violation, justification in report.suppressed
+    )
+    log: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -1,0 +1,657 @@
+"""Cross-file facts the invariant rules consume: the project index.
+
+Single-file AST checks cannot see the invariants that matter here —
+whether a function is *registered* as a sweep cell (any file may call
+``Cell.make``), whether a ``backend=`` API is exercised by an
+equivalence test (the evidence lives in ``tests/``), or whether a
+dataclass is reachable from a function mapped across the process-pool
+boundary (the closure spans modules).  :class:`ProjectIndex` walks every
+parsed file once up front and answers those questions for the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lint.core import (
+    LintConfig,
+    PicklabilityOptions,
+    SourceFile,
+)
+
+__all__ = [
+    "CellRegistration",
+    "DataclassInfo",
+    "FunctionInfo",
+    "ModuleBindings",
+    "ProjectIndex",
+    "dotted_name",
+    "find_boundary_sites",
+]
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Module constants named like ``FIG4_CELL_FN`` register their literal
+#: ``"module:function"`` value as a sweep cell.
+CELL_CONSTANT = re.compile(r"(?:^|_)CELL_FN$")
+QUALNAME = re.compile(r"^[\w.]+:\w+$")
+
+#: Method names that mutate their receiver in place: a module-level
+#: name they are called on counts as module-level mutable state.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def chain_root(node: ast.AST) -> str | None:
+    """The root Name of an Attribute/Subscript chain, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ModuleBindings:
+    """What the module-level names of one file are bound to."""
+
+    #: Local alias -> real dotted source (``np`` -> ``numpy``,
+    #: ``sleep`` -> ``time.sleep``).
+    imports: dict[str, str]
+    #: Top-level ``def``/``class`` names.
+    defs: set[str]
+    #: Names assigned at module level.
+    assigned: set[str]
+    #: Module-level names observed being rebound or mutated in place
+    #: anywhere in the file — *not* constants.
+    mutated: set[str]
+    #: Single-assignment module names -> their value expression.
+    constants: dict[str, ast.expr]
+
+    def resolve(self, dotted: str) -> str:
+        """Rewrite the chain root through the import table."""
+        root, _, rest = dotted.partition(".")
+        source = self.imports.get(root)
+        if source is None:
+            return dotted
+        return source + ("." + rest if rest else "")
+
+
+def _relative_source(file: SourceFile, node: ast.ImportFrom) -> str:
+    if not node.level:
+        return node.module or ""
+    package = (file.module or "").split(".")
+    base = package[: -node.level] if len(package) >= node.level else []
+    if node.module:
+        base = base + [node.module]
+    return ".".join(base)
+
+
+def module_bindings(file: SourceFile) -> ModuleBindings:
+    """Scan one file for its module-level bindings and their mutations."""
+    bindings = ModuleBindings(
+        imports={}, defs=set(), assigned=set(), mutated=set(), constants={}
+    )
+    seen_assignments: dict[str, int] = {}
+
+    def record_assign(name: str, value: ast.expr | None) -> None:
+        bindings.assigned.add(name)
+        seen_assignments[name] = seen_assignments.get(name, 0) + 1
+        if value is not None:
+            bindings.constants[name] = value
+
+    def handle(stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    bindings.imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    bindings.imports[root] = root
+        elif isinstance(stmt, ast.ImportFrom):
+            source = _relative_source(file, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bindings.imports[local] = (
+                    f"{source}.{alias.name}" if source else alias.name
+                )
+        elif isinstance(stmt, FUNCTION_NODES + (ast.ClassDef,)):
+            bindings.defs.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    record_assign(target.id, stmt.value)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            record_assign(element.id, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                record_assign(stmt.target.id, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                bindings.assigned.add(stmt.target.id)
+                bindings.mutated.add(stmt.target.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    handle(child)
+                elif isinstance(child, ast.ExceptHandler):
+                    for grandchild in child.body:
+                        handle(grandchild)
+
+    for stmt in file.tree.body:
+        handle(stmt)
+
+    for name, count in seen_assignments.items():
+        if count > 1:
+            bindings.mutated.add(name)
+            bindings.constants.pop(name, None)
+
+    # Mutation scan over the whole file: in-place writes or rebinding
+    # of module-level names anywhere (``global`` declarations included).
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Global):
+            bindings.mutated.update(
+                name for name in node.names if name in bindings.assigned
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = chain_root(target)
+                    if root is not None and root in bindings.assigned:
+                        bindings.mutated.add(root)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = chain_root(target)
+                if root is not None and root in bindings.assigned:
+                    bindings.mutated.add(root)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                root = chain_root(func.value)
+                if root is not None and root in bindings.assigned:
+                    bindings.mutated.add(root)
+
+    for name in bindings.mutated:
+        bindings.constants.pop(name, None)
+    return bindings
+
+
+@dataclass
+class CellRegistration:
+    """One ``module:function`` sweep-cell registration and where it is."""
+
+    qualname: str
+    path: str
+    line: int
+
+    @property
+    def module(self) -> str:
+        return self.qualname.split(":", 1)[0]
+
+    @property
+    def function(self) -> str:
+        return self.qualname.split(":", 1)[1]
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function definition."""
+
+    name: str
+    module: str | None
+    file: SourceFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    has_backend_param: bool
+
+
+@dataclass
+class DataclassInfo:
+    """One ``@dataclass`` definition and its field annotation names."""
+
+    name: str
+    module: str | None
+    file: SourceFile
+    node: ast.ClassDef
+    frozen: bool
+    field_types: tuple[str, ...]
+
+
+def _dataclass_info(
+    node: ast.ClassDef, file: SourceFile
+) -> DataclassInfo | None:
+    for decorator in node.decorator_list:
+        target = (
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        name = dotted_name(target)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    frozen = True
+        field_types: list[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                field_types.extend(_annotation_names(stmt.annotation))
+        return DataclassInfo(
+            name=node.name,
+            module=file.module,
+            file=file,
+            node=node,
+            frozen=frozen,
+            field_types=tuple(field_types),
+        )
+    return None
+
+
+def _annotation_names(annotation: ast.AST) -> list[str]:
+    """Every identifier appearing in a type annotation."""
+    names: list[str] = []
+    nodes: list[ast.AST] = [annotation]
+    if (
+        isinstance(annotation, ast.Constant)
+        and isinstance(annotation.value, str)
+    ):
+        # String (forward-reference) annotation: re-parse it.
+        try:
+            nodes = [ast.parse(annotation.value, mode="eval").body]
+        except SyntaxError:
+            nodes = []
+    for top in nodes:
+        for node in ast.walk(top):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.append(node.attr)
+    return names
+
+
+def _backend_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Does this signature expose an optional ``backend=`` selector?
+
+    Keyword-only ``backend`` counts always; positional ``backend``
+    counts only when it carries a default (a bare positional is a
+    validator-style helper, not a selectable API).
+    """
+    for arg in node.args.kwonlyargs:
+        if arg.arg == "backend":
+            return True
+    positional = node.args.posonlyargs + node.args.args
+    defaults_start = len(positional) - len(node.args.defaults)
+    for position, arg in enumerate(positional):
+        if arg.arg == "backend" and position >= defaults_start:
+            return True
+    return False
+
+
+def _literal_qualname(
+    node: ast.expr | None, bindings: ModuleBindings
+) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        node = bindings.constants.get(node.id)
+        if node is None:
+            return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if QUALNAME.match(node.value):
+            return node.value
+    return None
+
+
+def find_boundary_sites(
+    file: SourceFile, options: PicklabilityOptions
+) -> list[tuple[ast.Call, ast.expr]]:
+    """Call sites shipping a callable across the process-pool boundary.
+
+    Returns ``(call, callable_expr)`` pairs for ``x.map(fn, ...)``-style
+    calls (any boundary attribute), calls through locals bound from
+    ``getattr(executor, "map_stream", ...)`` or ``executor.map``, and
+    ``Process(target=fn)`` spawns.
+    """
+    aliases: set[str] = set()
+    for node in ast.walk(file.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        bound: str | None = None
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "getattr"
+            and len(value.args) >= 2
+            and isinstance(value.args[1], ast.Constant)
+            and value.args[1].value in options.boundary_attributes
+        ):
+            bound = "alias"
+        elif (
+            isinstance(value, ast.Attribute)
+            and value.attr in options.boundary_attributes
+        ):
+            bound = "alias"
+        if bound is not None:
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+
+    sites: list[tuple[ast.Call, ast.expr]] = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in options.boundary_attributes
+            and node.args
+        ):
+            sites.append((node, node.args[0]))
+        elif (
+            isinstance(func, ast.Name) and func.id in aliases and node.args
+        ):
+            sites.append((node, node.args[0]))
+        else:
+            dotted = dotted_name(func)
+            if dotted is not None and dotted.split(".")[-1] == "Process":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        sites.append((node, keyword.value))
+    return sites
+
+
+class ProjectIndex:
+    """Cross-file facts: cells, backends, boundary closure, bindings."""
+
+    def __init__(
+        self,
+        files: Sequence[SourceFile],
+        config: LintConfig,
+    ) -> None:
+        self.files: tuple[SourceFile, ...] = tuple(files)
+        self.config = config
+        self._bindings: dict[str, ModuleBindings] = {}
+        #: (module, name) -> top-level function definition.
+        self.functions: dict[tuple[str | None, str], FunctionInfo] = {}
+        #: bare class name -> dataclass definitions with that name.
+        self.dataclasses: dict[str, list[DataclassInfo]] = {}
+        #: "module:function" -> first registration site.
+        self.cells: dict[str, CellRegistration] = {}
+        #: bare function name -> backends evidenced by test calls.
+        self.backend_evidence: dict[str, set[str]] = {}
+        #: (file rel, class name) -> why it crosses the pool boundary.
+        self.boundary_dataclasses: dict[tuple[str, str], str] = {}
+
+    @classmethod
+    def build(
+        cls, files: Sequence[SourceFile], *, config: LintConfig
+    ) -> "ProjectIndex":
+        index = cls(files, config)
+        for file in files:
+            index._index_definitions(file)
+        for file in files:
+            index._index_cells(file)
+        for file in files:
+            if file.is_test:
+                index._index_backend_evidence(file)
+        index._index_boundary_closure()
+        return index
+
+    # -- per-file caches ------------------------------------------------
+
+    def bindings_for(self, file: SourceFile) -> ModuleBindings:
+        cached = self._bindings.get(file.rel)
+        if cached is None:
+            cached = module_bindings(file)
+            self._bindings[file.rel] = cached
+        return cached
+
+    # -- definitions ----------------------------------------------------
+
+    def _index_definitions(self, file: SourceFile) -> None:
+        for stmt in file.tree.body:
+            if isinstance(stmt, FUNCTION_NODES):
+                info = FunctionInfo(
+                    name=stmt.name,
+                    module=file.module,
+                    file=file,
+                    node=stmt,
+                    has_backend_param=_backend_param(stmt),
+                )
+                self.functions[(file.module, stmt.name)] = info
+            elif isinstance(stmt, ast.ClassDef):
+                info_dc = _dataclass_info(stmt, file)
+                if info_dc is not None:
+                    self.dataclasses.setdefault(stmt.name, []).append(
+                        info_dc
+                    )
+
+    # -- cell registrations ---------------------------------------------
+
+    def _register_cell(
+        self, qualname: str, file: SourceFile, line: int
+    ) -> None:
+        self.cells.setdefault(
+            qualname,
+            CellRegistration(qualname=qualname, path=file.rel, line=line),
+        )
+
+    def _index_cells(self, file: SourceFile) -> None:
+        bindings = self.bindings_for(file)
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                tail = dotted.split(".")
+                if tail[-1] == "make" and len(tail) >= 2 and tail[-2] == "Cell":
+                    qualname = _literal_qualname(
+                        node.args[0] if node.args else None, bindings
+                    )
+                    if qualname is not None:
+                        self._register_cell(qualname, file, node.lineno)
+                elif tail[-1] == "Cell":
+                    for keyword in node.keywords:
+                        if keyword.arg == "fn":
+                            qualname = _literal_qualname(
+                                keyword.value, bindings
+                            )
+                            if qualname is not None:
+                                self._register_cell(
+                                    qualname, file, node.lineno
+                                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and CELL_CONSTANT.search(
+                        target.id
+                    ):
+                        qualname = _literal_qualname(node.value, bindings)
+                        if qualname is not None:
+                            self._register_cell(qualname, file, node.lineno)
+
+    def cell_registrations_in(
+        self, file: SourceFile
+    ) -> list[CellRegistration]:
+        """Registered cells whose target function lives in ``file``."""
+        if file.module is None:
+            return []
+        return [
+            registration
+            for registration in self.cells.values()
+            if registration.module == file.module
+        ]
+
+    # -- backend evidence -----------------------------------------------
+
+    def _index_backend_evidence(self, file: SourceFile) -> None:
+        backends = set(self.config.parity.backends)
+        module_literals: set[str] = set()
+        references_backends_constant = False
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Constant) and node.value in backends:
+                module_literals.add(str(node.value))
+            elif isinstance(node, ast.Name) and node.id == "BACKENDS":
+                references_backends_constant = True
+        if references_backends_constant:
+            module_literals |= backends
+
+        def credit(name: str, evidenced: set[str]) -> None:
+            if evidenced:
+                self.backend_evidence.setdefault(name, set()).update(
+                    evidenced
+                )
+
+        bindings = self.bindings_for(file)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            keyword = next(
+                (kw for kw in node.keywords if kw.arg == "backend"), None
+            )
+            if keyword is None:
+                continue
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                evidenced = {keyword.value.value} & backends
+            else:
+                evidenced = set(module_literals)
+            dotted = dotted_name(node.func)
+            callee = dotted.split(".")[-1] if dotted else None
+            if callee is None:
+                continue
+            if callee == "make":
+                # Cell.make("module:function", backend=...): credit the
+                # cell function itself.
+                qualname = _literal_qualname(
+                    node.args[0] if node.args else None, bindings
+                )
+                if qualname is not None:
+                    credit(qualname.split(":", 1)[1], evidenced)
+            else:
+                credit(callee, evidenced)
+
+    # -- executor-boundary closure --------------------------------------
+
+    def resolve_function(
+        self, node: ast.expr, file: SourceFile
+    ) -> FunctionInfo | None:
+        """Resolve a callable expression to a top-level definition."""
+        if isinstance(node, ast.Call):
+            # functools.partial(fn, ...): the mapped callable is arg 0.
+            dotted = dotted_name(node.func)
+            if (
+                dotted is not None
+                and dotted.split(".")[-1] == "partial"
+                and node.args
+            ):
+                return self.resolve_function(node.args[0], file)
+            return None
+        bindings = self.bindings_for(file)
+        if isinstance(node, ast.Name):
+            if node.id in bindings.defs:
+                return self.functions.get((file.module, node.id))
+            source = bindings.imports.get(node.id)
+            if source is not None and "." in source:
+                module, _, name = source.rpartition(".")
+                return self.functions.get((module, name))
+            return None
+        dotted = dotted_name(node)
+        if dotted is not None:
+            resolved = bindings.resolve(dotted)
+            if "." in resolved:
+                module, _, name = resolved.rpartition(".")
+                return self.functions.get((module, name))
+        return None
+
+    def _index_boundary_closure(self) -> None:
+        roots: list[FunctionInfo] = []
+        for file in self.files:
+            if file.is_test:
+                continue
+            for _, fn_expr in find_boundary_sites(file, self.config.pickle):
+                info = self.resolve_function(fn_expr, file)
+                if info is not None:
+                    roots.append(info)
+
+        for root in roots:
+            names: list[str] = []
+            if root.node.returns is not None:
+                names.extend(_annotation_names(root.node.returns))
+            for arg in (
+                root.node.args.posonlyargs
+                + root.node.args.args
+                + root.node.args.kwonlyargs
+            ):
+                if arg.annotation is not None:
+                    names.extend(_annotation_names(arg.annotation))
+            queue: list[tuple[str, tuple[str, ...]]] = [
+                (name, ()) for name in names
+            ]
+            while queue:
+                name, chain = queue.pop()
+                for info_dc in self.dataclasses.get(name, ()):
+                    key = (info_dc.file.rel, info_dc.name)
+                    if key in self.boundary_dataclasses:
+                        continue
+                    path = " -> ".join(chain + (info_dc.name,))
+                    self.boundary_dataclasses[key] = (
+                        f"reachable from `{root.name}` "
+                        f"(mapped across the executor pool boundary) "
+                        f"via {path}"
+                    )
+                    for field_type in info_dc.field_types:
+                        queue.append(
+                            (field_type, chain + (info_dc.name,))
+                        )

@@ -1,0 +1,750 @@
+"""The invariant rules: RPR001-RPR006.
+
+Each rule is a small class with ``id``/``name``/``summary`` metadata and
+a ``check(file, index, config)`` generator over violations.  The rules
+lean on :class:`~repro.lint.project.ProjectIndex` for every cross-file
+fact (cell registrations, test backend evidence, the executor-boundary
+dataclass closure) so each ``check`` stays a single-file walk.
+
+The catalog (also rendered by ``python -m repro.lint --list-rules``):
+
+======  ==============================================================
+RPR001  registered sweep cells must be pure functions of their params
+RPR002  cell params (the cache key) must be JSON-canonicalizable
+RPR003  every ``backend=`` API needs all backends test-exercised
+RPR004  callables/dataclasses crossing the pool boundary must pickle
+RPR005  metric names in registered namespaces; spans via ``with``
+RPR006  hot kernels use ``safe_exp``, never bare ``math.exp``
+======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from typing import Callable, ClassVar, Iterator
+
+from repro.lint.core import (
+    LintConfig,
+    PurityOptions,
+    SourceFile,
+    Violation,
+)
+from repro.lint.project import (
+    FUNCTION_NODES,
+    ModuleBindings,
+    ProjectIndex,
+    dotted_name,
+    find_boundary_sites,
+)
+
+__all__ = ["RULES", "Rule", "rules_by_id"]
+
+_BUILTIN_NAMES = frozenset(dir(builtins)) | {
+    "__name__",
+    "__file__",
+    "__doc__",
+    "__package__",
+    "__spec__",
+}
+
+#: Lower-snake dotted metric names: ``namespace.metric[.sub]``.
+_METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+class Rule:
+    """Base class: metadata plus the per-file check hook."""
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def _function_locals(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Every name bound inside ``node``: params, assignments, imports..."""
+    bound: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.arg):
+            bound.add(child.arg)
+        elif isinstance(child, ast.Name) and isinstance(
+            child.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(child.id)
+        elif isinstance(child, FUNCTION_NODES + (ast.ClassDef,)):
+            if child is not node:
+                bound.add(child.name)
+        elif isinstance(child, (ast.Import, ast.ImportFrom)):
+            for alias in child.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            bound.add(child.name)
+    return bound
+
+
+class CellPurity(Rule):
+    """RPR001: registered sweep cells are pure functions of their params.
+
+    The sweep cache keys results by ``(qualname, params)`` content hash;
+    anything a cell reads outside its parameters silently poisons every
+    cache hit.  Cells must be top-level (picklable), must not touch
+    clocks/RNG/environment, and every free variable must resolve to an
+    import, a top-level definition, or a never-mutated module constant.
+    """
+
+    id = "RPR001"
+    name = "cell-purity"
+    summary = "registered sweep cells must be pure functions of their params"
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        registrations = index.cell_registrations_in(file)
+        if not registrations:
+            return
+        bindings = index.bindings_for(file)
+        top_level = {
+            stmt.name: stmt
+            for stmt in file.tree.body
+            if isinstance(stmt, FUNCTION_NODES)
+        }
+        options = config.purity
+        for registration in registrations:
+            node = top_level.get(registration.function)
+            if node is None:
+                nested = next(
+                    (
+                        candidate
+                        for candidate in ast.walk(file.tree)
+                        if isinstance(candidate, FUNCTION_NODES)
+                        and candidate.name == registration.function
+                    ),
+                    None,
+                )
+                if nested is not None:
+                    yield file.violation(
+                        self.id,
+                        nested,
+                        f"cell `{registration.qualname}` is not a "
+                        "top-level function; nested functions cannot be "
+                        "resolved or pickled by the sweep runner",
+                    )
+                continue
+            yield from self._check_body(
+                node, registration.qualname, file, index, bindings, options
+            )
+
+    def _check_body(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        file: SourceFile,
+        index: ProjectIndex,
+        bindings: ModuleBindings,
+        options: PurityOptions,
+    ) -> Iterator[Violation]:
+        local_names = _function_locals(node)
+        seen: set[tuple[int, int, str]] = set()
+        # Root Names of Attribute chains are reported at the Attribute
+        # (with the full dotted path); skip the bare-Name duplicate.
+        attribute_roots: set[int] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Attribute):
+                target = child.value
+                while isinstance(target, ast.Attribute):
+                    target = target.value
+                if isinstance(target, ast.Name):
+                    attribute_roots.add(id(target))
+
+        def emit(
+            anchor: ast.AST, message: str
+        ) -> Iterator[Violation]:
+            key = (
+                getattr(anchor, "lineno", 0),
+                getattr(anchor, "col_offset", 0),
+                message,
+            )
+            if key not in seen:
+                seen.add(key)
+                yield file.violation(self.id, anchor, message)
+
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                yield from emit(
+                    child,
+                    f"cell `{qualname}` declares "
+                    f"{'global' if isinstance(child, ast.Global) else 'nonlocal'}"
+                    " state; cells must only write through their return "
+                    "value",
+                )
+            elif isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Name
+            ):
+                called = child.func.id
+                if (
+                    called in options.forbidden_calls
+                    and called not in local_names
+                ):
+                    yield from emit(
+                        child,
+                        f"cell `{qualname}` calls `{called}(...)`; cells "
+                        "must not perform I/O outside the cached payload",
+                    )
+            elif isinstance(child, ast.Attribute):
+                dotted = dotted_name(child)
+                if dotted is None:
+                    continue
+                root = dotted.split(".")[0]
+                if root in local_names:
+                    continue
+                reason = self._forbidden(
+                    bindings.resolve(dotted), options
+                )
+                if reason is not None:
+                    yield from emit(
+                        child, f"cell `{qualname}` {reason}"
+                    )
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, ast.Load
+            ):
+                name = child.id
+                if name in local_names or name in _BUILTIN_NAMES:
+                    continue
+                if name in bindings.imports:
+                    if id(child) in attribute_roots:
+                        continue
+                    source = bindings.imports[name]
+                    reason = self._forbidden(source, options)
+                    if reason is not None:
+                        yield from emit(
+                            child, f"cell `{qualname}` {reason}"
+                        )
+                    else:
+                        yield from self._check_imported_mutable(
+                            child, name, source, qualname, index, emit
+                        )
+                elif name in bindings.mutated:
+                    yield from emit(
+                        child,
+                        f"cell `{qualname}` reads module-level mutable "
+                        f"state `{name}`; pass it through params or make "
+                        "it a constant",
+                    )
+                elif (
+                    name not in bindings.defs
+                    and name not in bindings.assigned
+                ):
+                    yield from emit(
+                        child,
+                        f"cell `{qualname}` reads free variable `{name}` "
+                        "that does not flow from its params or module "
+                        "constants",
+                    )
+
+    @staticmethod
+    def _forbidden(resolved: str, options: PurityOptions) -> str | None:
+        root = resolved.split(".")[0]
+        if root in options.forbidden_modules:
+            return (
+                f"uses nondeterministic module `{root}` "
+                f"(via `{resolved}`)"
+            )
+        for prefix in options.forbidden_attributes:
+            base = prefix[:-1] if prefix.endswith(".") else prefix
+            if resolved == base or resolved.startswith(base + "."):
+                return f"reads `{resolved}` (ambient state)"
+        return None
+
+    @staticmethod
+    def _check_imported_mutable(
+        anchor: ast.AST,
+        name: str,
+        source: str,
+        qualname: str,
+        index: ProjectIndex,
+        emit: Callable[[ast.AST, str], Iterator[Violation]],
+    ) -> Iterator[Violation]:
+        if "." not in source:
+            return
+        module, _, imported = source.rpartition(".")
+        for other in index.files:
+            if other.module == module:
+                other_bindings = index.bindings_for(other)
+                if imported in other_bindings.mutated:
+                    yield from emit(
+                        anchor,
+                        f"cell `{qualname}` reads `{name}` which is "
+                        f"module-level mutable state in `{module}`",
+                    )
+                break
+
+
+class CacheKeySoundness(Rule):
+    """RPR002: cell signatures (= cache keys) must canonicalize.
+
+    The cell cache serializes params with canonical JSON; a parameter
+    that is not a plain literal, tuple, or frozen dataclass either fails
+    to serialize or (worse) serializes unstably across runs.
+    """
+
+    id = "RPR002"
+    name = "cache-key-soundness"
+    summary = "cell params must be JSON-canonicalizable literals"
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        registrations = index.cell_registrations_in(file)
+        if not registrations:
+            return
+        bindings = index.bindings_for(file)
+        top_level = {
+            stmt.name: stmt
+            for stmt in file.tree.body
+            if isinstance(stmt, FUNCTION_NODES)
+        }
+        allowed = config.cache_key.allowed_annotations
+        for registration in registrations:
+            node = top_level.get(registration.function)
+            if node is None:
+                continue
+            qualname = registration.qualname
+            if node.args.args or node.args.posonlyargs:
+                yield file.violation(
+                    self.id,
+                    node,
+                    f"cell `{qualname}` takes positional parameters; "
+                    "cell params are passed by keyword from the sweep "
+                    "grid and must be keyword-only",
+                )
+            if node.args.vararg is not None or node.args.kwarg is not None:
+                anchor = node.args.vararg or node.args.kwarg
+                yield file.violation(
+                    self.id,
+                    anchor if anchor is not None else node,
+                    f"cell `{qualname}` takes *args/**kwargs; the cache "
+                    "key needs an explicit, annotated parameter list",
+                )
+            for arg, default in zip(
+                node.args.kwonlyargs, node.args.kw_defaults
+            ):
+                if arg.annotation is None:
+                    yield file.violation(
+                        self.id,
+                        arg,
+                        f"cell `{qualname}` parameter `{arg.arg}` has no "
+                        "annotation; annotate with a JSON-canonicalizable "
+                        "type",
+                    )
+                elif not self._canonical(
+                    arg.annotation, allowed, index
+                ):
+                    yield file.violation(
+                        self.id,
+                        arg,
+                        f"cell `{qualname}` parameter `{arg.arg}` is "
+                        "annotated with a type that does not "
+                        "JSON-canonicalize; use literals, tuples, or a "
+                        "frozen dataclass",
+                    )
+                if default is not None and not self._stable_default(
+                    default
+                ):
+                    yield file.violation(
+                        self.id,
+                        default,
+                        f"cell `{qualname}` parameter `{arg.arg}` has a "
+                        "mutable or unstable default; defaults must be "
+                        "literals or module constants",
+                    )
+
+    def _canonical(
+        self,
+        annotation: ast.AST,
+        allowed: tuple[str, ...],
+        index: ProjectIndex,
+    ) -> bool:
+        if isinstance(annotation, ast.Constant):
+            if annotation.value is None:
+                return True
+            if isinstance(annotation.value, str):
+                try:
+                    parsed = ast.parse(annotation.value, mode="eval").body
+                except SyntaxError:
+                    return False
+                return self._canonical(parsed, allowed, index)
+            return False
+        if isinstance(annotation, ast.Name):
+            if annotation.id in allowed:
+                return True
+            return any(
+                info.frozen
+                for info in index.dataclasses.get(annotation.id, ())
+            )
+        if isinstance(annotation, ast.Attribute):
+            if annotation.attr in allowed:
+                return True
+            return any(
+                info.frozen
+                for info in index.dataclasses.get(annotation.attr, ())
+            )
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            return self._canonical(
+                annotation.left, allowed, index
+            ) and self._canonical(annotation.right, allowed, index)
+        if isinstance(annotation, ast.Subscript):
+            base = dotted_name(annotation.value)
+            base_tail = base.split(".")[-1] if base else None
+            if base_tail in ("tuple", "Tuple", "Optional", "Union", "Literal"):
+                inner = annotation.slice
+                elements = (
+                    list(inner.elts)
+                    if isinstance(inner, ast.Tuple)
+                    else [inner]
+                )
+                if base_tail == "Literal":
+                    return all(
+                        isinstance(element, ast.Constant)
+                        for element in elements
+                    )
+                return all(
+                    isinstance(element, ast.Constant)
+                    and element.value is Ellipsis
+                    or self._canonical(element, allowed, index)
+                    for element in elements
+                )
+        return False
+
+    @staticmethod
+    def _stable_default(default: ast.expr) -> bool:
+        if isinstance(default, ast.Constant):
+            return True
+        if isinstance(default, ast.UnaryOp) and isinstance(
+            default.operand, ast.Constant
+        ):
+            return True
+        if isinstance(default, ast.Tuple):
+            return all(
+                CacheKeySoundness._stable_default(element)
+                for element in default.elts
+            )
+        # A Name/Attribute default is a module constant resolved at def
+        # time (e.g. DEFAULT_BACKEND); its value is pinned thereafter.
+        return isinstance(default, (ast.Name, ast.Attribute))
+
+
+class BackendParity(Rule):
+    """RPR003: every ``backend=`` API has all backends test-exercised.
+
+    The selector is only trustworthy if an equivalence test calls the
+    function with *each* registered backend; the evidence is collected
+    by cross-referencing the test ASTs (literal ``backend=`` keywords,
+    loops over ``BACKENDS``, and ``Cell.make(..., backend=...)``).
+    """
+
+    id = "RPR003"
+    name = "backend-parity"
+    summary = "every backend= API needs all backends exercised by tests"
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        if file.is_test:
+            return
+        backends = set(config.parity.backends)
+        for (module, name), info in index.functions.items():
+            if info.file is not file:
+                continue
+            if not info.has_backend_param or name.startswith("_"):
+                continue
+            covered = index.backend_evidence.get(name, set())
+            missing = sorted(backends - covered)
+            if missing:
+                yield file.violation(
+                    self.id,
+                    info.node,
+                    f"`{name}` exposes backend= but no test exercises "
+                    f"backend(s) {', '.join(repr(b) for b in missing)}; "
+                    "add an equivalence test calling it with every "
+                    "registered backend",
+                )
+
+
+class ExecutorPicklability(Rule):
+    """RPR004: work crossing the process-pool boundary must pickle.
+
+    Callables handed to ``map``/``map_stream``/``imap`` (or spawned as
+    ``Process(target=...)``) must be top-level functions, and every
+    dataclass reachable through their signatures must be frozen, so
+    results are immutable once they cross process boundaries.
+    """
+
+    id = "RPR004"
+    name = "executor-picklability"
+    summary = "pool-boundary callables top-level; result dataclasses frozen"
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        sites = find_boundary_sites(file, config.pickle)
+        if sites:
+            site_map = {id(call): fn for call, fn in sites}
+            yield from self._check_sites(file, site_map)
+        for stmt in file.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            reason = index.boundary_dataclasses.get((file.rel, stmt.name))
+            if reason is None:
+                continue
+            infos = [
+                info
+                for info in index.dataclasses.get(stmt.name, ())
+                if info.file is file
+            ]
+            if infos and not infos[0].frozen:
+                yield file.violation(
+                    self.id,
+                    stmt,
+                    f"dataclass `{stmt.name}` is {reason} but is not "
+                    "frozen; declare it @dataclass(frozen=True) so "
+                    "pool results stay immutable",
+                )
+
+    def _check_sites(
+        self, file: SourceFile, site_map: dict[int, ast.expr]
+    ) -> Iterator[Violation]:
+        def visit(
+            node: ast.AST, scopes: tuple[frozenset[str], ...]
+        ) -> Iterator[Violation]:
+            if isinstance(node, ast.Call) and id(node) in site_map:
+                fn_expr = site_map[id(node)]
+                if isinstance(fn_expr, ast.Lambda):
+                    yield file.violation(
+                        self.id,
+                        fn_expr,
+                        "lambda passed across the executor pool "
+                        "boundary; lambdas do not pickle — use a "
+                        "top-level function",
+                    )
+                elif isinstance(fn_expr, ast.Name) and any(
+                    fn_expr.id in scope for scope in scopes
+                ):
+                    yield file.violation(
+                        self.id,
+                        fn_expr,
+                        f"`{fn_expr.id}` is a lambda or nested "
+                        "definition but crosses the executor pool "
+                        "boundary; it will not pickle — make it a "
+                        "top-level function",
+                    )
+            if isinstance(node, ast.Module):
+                module_lambdas = {
+                    target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Lambda)
+                    for target in stmt.targets
+                    if isinstance(target, ast.Name)
+                }
+                scopes = scopes + (frozenset(module_lambdas),)
+            if isinstance(node, FUNCTION_NODES):
+                nested: set[str] = set()
+                for stmt in node.body:
+                    for child in ast.walk(stmt):
+                        if (
+                            isinstance(child, FUNCTION_NODES)
+                            and child is not node
+                        ):
+                            nested.add(child.name)
+                        elif isinstance(child, ast.Assign) and isinstance(
+                            child.value, ast.Lambda
+                        ):
+                            for target in child.targets:
+                                if isinstance(target, ast.Name):
+                                    nested.add(target.id)
+                scopes = scopes + (frozenset(nested),)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, scopes)
+
+        yield from visit(file.tree, ())
+
+
+class ObsConventions(Rule):
+    """RPR005: metric names live in registered namespaces; spans via with.
+
+    Metric names must be literal dotted lower-snake strings whose first
+    segment is a registered namespace (f-strings need a literal
+    namespace prefix), and ``obs.trace`` spans may only be opened as
+    ``with`` context managers so they always close.
+    """
+
+    id = "RPR005"
+    name = "obs-conventions"
+    summary = "metric names in registered namespaces; spans only via with"
+
+    _RECEIVERS = frozenset({"obs", "registry"})
+    _EMITTERS = frozenset({"add", "observe", "set_gauge"})
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        module = file.module or ""
+        if any(
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in config.obs.exempt_modules
+        ):
+            return
+        with_contexts = {
+            id(item.context_expr)
+            for node in ast.walk(file.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        namespaces = set(config.obs.namespaces)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._RECEIVERS
+            ):
+                continue
+            if func.attr == "trace":
+                if id(node) not in with_contexts:
+                    yield file.violation(
+                        self.id,
+                        node,
+                        "span opened outside a with-statement; use "
+                        "`with obs.trace(...):` so the span always "
+                        "closes",
+                    )
+                yield from self._check_name(file, node, namespaces)
+            elif func.attr in self._EMITTERS:
+                yield from self._check_name(file, node, namespaces)
+
+    def _check_name(
+        self, file: SourceFile, call: ast.Call, namespaces: set[str]
+    ) -> Iterator[Violation]:
+        name_expr: ast.expr | None = None
+        if call.args:
+            name_expr = call.args[0]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "name":
+                    name_expr = keyword.value
+        if name_expr is None:
+            return
+        if isinstance(name_expr, ast.Constant) and isinstance(
+            name_expr.value, str
+        ):
+            name = name_expr.value
+            if not _METRIC_NAME.match(name):
+                yield file.violation(
+                    self.id,
+                    name_expr,
+                    f"metric name {name!r} is not dotted lower-snake "
+                    "(`namespace.metric`)",
+                )
+            elif name.split(".")[0] not in namespaces:
+                yield file.violation(
+                    self.id,
+                    name_expr,
+                    f"metric name {name!r} is outside the registered "
+                    f"namespaces ({', '.join(sorted(namespaces))})",
+                )
+        elif isinstance(name_expr, ast.JoinedStr):
+            first = name_expr.values[0] if name_expr.values else None
+            prefix = (
+                first.value
+                if isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                else ""
+            )
+            if "." not in prefix or prefix.split(".")[0] not in namespaces:
+                yield file.violation(
+                    self.id,
+                    name_expr,
+                    "f-string metric name must start with a literal "
+                    "`namespace.` prefix from the registered namespaces",
+                )
+        else:
+            yield file.violation(
+                self.id,
+                name_expr,
+                "metric name must be a string literal (or f-string "
+                "with a literal namespace prefix) so the namespace is "
+                "statically checkable",
+            )
+
+
+class NumericSafety(Rule):
+    """RPR006: hot kernels route unbounded exponents through safe_exp.
+
+    A bare ``math.exp`` raises :class:`OverflowError` past ~709.78; in
+    the bound/simulation kernels that turns a vacuous bound into a
+    crash deep inside an argmin sweep.  ``repro.utils.numeric.safe_exp``
+    is bitwise-identical below the knee and saturates to ``inf`` above.
+    """
+
+    id = "RPR006"
+    name = "numeric-safety"
+    summary = "hot kernels use safe_exp, never bare math.exp"
+
+    def check(
+        self, file: SourceFile, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Violation]:
+        module = file.module or ""
+        if not any(
+            module.startswith(prefix) or module == prefix.rstrip(".")
+            for prefix in config.numeric.hot_modules
+        ):
+            return
+        bindings = index.bindings_for(file)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if bindings.resolve(dotted) != "math.exp":
+                continue
+            argument = node.args[0] if node.args else None
+            if isinstance(argument, ast.Constant) or (
+                isinstance(argument, ast.UnaryOp)
+                and isinstance(argument.operand, ast.Constant)
+            ):
+                continue
+            yield file.violation(
+                self.id,
+                node,
+                "bare math.exp on an unbounded expression in a hot "
+                f"kernel; use {config.numeric.helper} (saturates to inf "
+                "instead of raising OverflowError)",
+            )
+
+
+RULES: tuple[Rule, ...] = (
+    CellPurity(),
+    CacheKeySoundness(),
+    BackendParity(),
+    ExecutorPicklability(),
+    ObsConventions(),
+    NumericSafety(),
+)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.id: rule for rule in RULES}

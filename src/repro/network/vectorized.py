@@ -56,6 +56,7 @@ from repro.network.optimization import (
     ThetaSolution,
     theta_for_x,
 )
+from repro.utils.numeric import safe_exp
 from repro.utils.validation import check_non_negative
 
 __all__ = [
@@ -352,7 +353,7 @@ def _sigma_fast(
     for _ in range(hops - 1):
         log_m += term_inflated
     log_m += math.log(last * cross.decay) / (cross.decay * w)
-    prefactor = math.exp(log_m)
+    prefactor = safe_exp(log_m)
     alpha = 1.0 / w
     return max(0.0, math.log(prefactor / epsilon) / alpha)
 
@@ -1026,7 +1027,7 @@ def _additive_probe(
         log_m = math.log(w)
         log_m += math.log(through_m * decay) / (decay * w)
         log_m += math.log(cross_m * cross.decay) / (cross.decay * w)
-        node_m = math.exp(log_m)
+        node_m = safe_exp(log_m)
         node_a = 1.0 / w
         node_ms.append(node_m)
         node_as.append(node_a)
@@ -1042,7 +1043,7 @@ def _additive_probe(
         log_m = math.log(w)
         for m, a in zip(node_ms, node_as):
             log_m += math.log(m * a) / (a * w)
-        comb_m, comb_a = math.exp(log_m), 1.0 / w
+        comb_m, comb_a = safe_exp(log_m), 1.0 / w
     sigma_total = max(0.0, math.log(comb_m / epsilon) / comb_a)
     return sigma_total / service_rate
 

@@ -40,6 +40,7 @@ from repro.obs.registry import (
     SERIES_CAP,
     SNAPSHOT_SCHEMA,
     MetricsRegistry,
+    Span,
 )
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "SNAPSHOT_SCHEMA",
     "SERIES_CAP",
     "NOOP_SPAN",
+    "Span",
     "active",
     "enabled",
     "enable",
@@ -84,7 +86,7 @@ def disable() -> None:
     _active.disable()
 
 
-def trace(name: str):
+def trace(name: str) -> Span:
     return _active.trace(name)
 
 

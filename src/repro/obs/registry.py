@@ -87,6 +87,11 @@ class _Span:
         return False
 
 
+#: What :meth:`MetricsRegistry.trace` hands out: a live span while
+#: enabled, the shared no-op otherwise.  Both close via ``with``.
+Span = _Span | _NoopSpan
+
+
 class MetricsRegistry:
     """Thread-safe in-process metrics store (see module docstring)."""
 

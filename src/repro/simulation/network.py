@@ -119,9 +119,14 @@ class DagResult:
     topology: Topology
 
 
-@dataclass
+@dataclass(frozen=True)
 class TandemResult:
-    """Collected measurements of a tandem run."""
+    """Collected measurements of a tandem run.
+
+    Frozen: instances cross the process-pool boundary in
+    :func:`repro.simulation.engine.simulate_tandem_mmoo_trials` (lint
+    rule RPR004), so they must stay immutable value objects.
+    """
 
     through_delays: DelayRecorder
     node_backlogs: tuple[BacklogRecorder, ...]

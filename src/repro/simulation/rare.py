@@ -61,7 +61,7 @@ from repro.arrivals.processes import intervals_to_aggregate, mmoo_on_intervals
 from repro.simulation.engine import SimulationConfig, _policy_factory
 from repro.simulation.network import TandemNetwork, TandemResult
 from repro.simulation.vectorized import _serve_fifo, run_tandem_vectorized
-from repro.utils.numeric import bisect_increasing
+from repro.utils.numeric import bisect_increasing, safe_exp
 from repro.utils.validation import check_int, check_positive
 
 #: Extra slots beyond the expected hitting time in :func:`suggest_rare_slots`,
@@ -105,9 +105,9 @@ class TiltedMMOO:
         """
         check_positive(tilt, "tilt")
         log_radius = tilt * base.effective_bandwidth(tilt)
-        lam = math.exp(log_radius)
+        lam = safe_exp(log_radius)
         p11 = base.p11 / lam
-        p22 = base.p22 * math.exp(tilt * base.peak) / lam
+        p22 = base.p22 * safe_exp(tilt * base.peak) / lam
         try:
             params = MMOOParameters(peak=base.peak, p11=p11, p22=p22)
         except ValueError as exc:
@@ -268,7 +268,7 @@ class RareTrialResult:
         fraction = self.result.through_delays.exceed_fraction(threshold)
         if fraction == 0.0:
             return 0.0
-        return math.exp(self.log_weight) * fraction
+        return safe_exp(self.log_weight) * fraction
 
 
 def default_margin(hops: int) -> float:

@@ -37,7 +37,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-from repro.utils.numeric import bisect_increasing, grid_then_golden
+from repro.utils.numeric import bisect_increasing, grid_then_golden, safe_exp
 from repro.utils.validation import check_non_negative, check_positive
 
 RateFunction = Callable[[float], float]
@@ -66,7 +66,7 @@ def _tail_probability(
         for k in range(0, k_clip + 1):
             if k + window_offset < 0:
                 exponent = s * (k * rj - capacity * (k + d))
-                total += math.exp(exponent)
+                total += safe_exp(exponent)
         k_start = k_clip + 1
     else:
         k_start = 0
@@ -74,7 +74,7 @@ def _tail_probability(
     lead = s * (
         k_start * rj + (k_start + window_offset) * rc - capacity * (k_start + d)
     )
-    total += math.exp(lead) / (1.0 - math.exp(drift))
+    total += safe_exp(lead) / (1.0 - safe_exp(drift))
     return total
 
 

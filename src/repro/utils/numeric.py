@@ -16,11 +16,33 @@ yields the exact optimum.
 from __future__ import annotations
 
 import math
+import sys
 from typing import Callable, Iterable, Sequence
 
 from repro import obs
 
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0  # ~0.618
+
+#: Largest exponent ``math.exp`` accepts without overflowing a double
+#: (``log(sys.float_info.max)`` ~ 709.78).
+EXP_OVERFLOW = math.log(sys.float_info.max)
+
+
+def safe_exp(exponent: float) -> float:
+    """Overflow-safe ``math.exp``: saturates to ``inf`` instead of raising.
+
+    Below the overflow knee this is exactly ``math.exp`` (bitwise —
+    underflow to 0.0 included); at ``exponent > EXP_OVERFLOW`` it
+    returns ``inf`` where ``math.exp`` would raise :class:`OverflowError`.
+    A saturated exponent means the bound (or likelihood ratio) being
+    computed is vacuous, and ``inf`` propagates that honestly through
+    the surrounding min/argmin searches.  Hot kernels must route every
+    unbounded exponent through this helper — enforced by lint rule
+    RPR006 (``python -m repro.lint --explain RPR006``).
+    """
+    if exponent > EXP_OVERFLOW:
+        return math.inf
+    return math.exp(exponent)
 
 
 def bisect_increasing(

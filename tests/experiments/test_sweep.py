@@ -72,8 +72,10 @@ class TestCellKey:
         )
 
     def test_fn_changes_key(self):
+        # A real cell qualname: registering the runner itself as a cell
+        # would (rightly) trip lint rule RPR001.
         assert cell_key(Cell.make(PROBE, value=1.0)) != cell_key(
-            Cell.make("repro.experiments.sweep:execute_cell", value=1.0)
+            Cell.make("repro.experiments.example3:fig4_cell", value=1.0)
         )
 
 

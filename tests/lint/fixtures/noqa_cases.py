@@ -1,0 +1,11 @@
+"""Suppression fixtures: justified, bare (RPR000), and self-suppressing."""
+
+import random
+
+PROBE_CELL_FN = "noqa_cases:probe_cell"
+
+
+def probe_cell(*, value: float = 1.0) -> dict:
+    jitter = random.random()  # repro: noqa=RPR001 -- fixture exercising a justified suppression
+    silent = random.random()  # repro: noqa=RPR001
+    return {"rows": [{"delay": value + jitter + silent}]}  # repro: noqa=RPR000

@@ -1,0 +1,16 @@
+"""RPR001 seeded-bad: a registered cell touching ambient state."""
+
+import random
+import time
+
+PROBE_CELL_FN = "rpr001_bad:probe_cell"
+
+STATE = {"calls": 0}
+STATE["seed"] = 7  # mutation: STATE is module-level mutable state
+
+
+def probe_cell(*, value: float = 1.0) -> dict:
+    STATE["calls"] += 1  # reads/writes module-level mutable state
+    jitter = random.random()  # nondeterministic module
+    stamp = time.perf_counter()  # ambient clock
+    return {"rows": [{"delay": value + jitter, "stamp": stamp}]}

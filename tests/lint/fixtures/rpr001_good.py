@@ -1,0 +1,12 @@
+"""RPR001 corrected-good: the same cell as a pure function of params."""
+
+import math
+
+PROBE_CELL_FN = "rpr001_good:probe_cell"
+
+SCALE = 2.0  # single-assignment module constant: fine to read
+
+
+def probe_cell(*, value: float = 1.0, seed: int = 0) -> dict:
+    jitter = math.sin(float(seed))  # determinism flows from params
+    return {"rows": [{"delay": SCALE * value + jitter}]}

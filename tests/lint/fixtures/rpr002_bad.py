@@ -1,0 +1,7 @@
+"""RPR002 seeded-bad: a cell signature that cannot be a stable cache key."""
+
+FIT_CELL_FN = "rpr002_bad:fit_cell"
+
+
+def fit_cell(traffic, *, grid=[4, 8], model: dict = {}) -> dict:
+    return {"rows": [{"delay": traffic, "grid": grid, "model": model}]}

@@ -1,0 +1,13 @@
+"""RPR002 corrected-good: keyword-only, annotated, literal defaults."""
+
+FIT_CELL_FN = "rpr002_good:fit_cell"
+
+
+def fit_cell(
+    *,
+    traffic: tuple = (1.5, 0.989, 0.9),
+    grid: tuple = (4, 8),
+    scheduler: str = "FIFO",
+    utilization: float = 0.6,
+) -> dict:
+    return {"rows": [{"delay": utilization, "scheduler": scheduler}]}

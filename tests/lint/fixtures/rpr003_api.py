@@ -1,0 +1,11 @@
+"""RPR003 target: a public API exposing the ``backend=`` selector.
+
+Bad when linted alone (no test evidence); good when linted together
+with ``rpr003_evidence.py`` as an indexed test file.
+"""
+
+
+def delay_bound(x: float, *, backend: str = "scalar") -> float:
+    if backend == "numpy":
+        return x * 2.0
+    return x + x

@@ -1,0 +1,10 @@
+"""RPR003 evidence: a parity test exercising every registered backend."""
+
+from rpr003_api import delay_bound
+
+BACKENDS = ("numpy", "scalar")
+
+
+def test_delay_bound_parity():
+    results = {b: delay_bound(1.0, backend=b) for b in BACKENDS}
+    assert results["numpy"] == results["scalar"]

@@ -1,0 +1,19 @@
+"""RPR004 seeded-bad: lambdas and a mutable dataclass cross the pool."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Result:
+    value: float
+
+
+def work(x: float) -> Result:
+    return Result(value=x * 2.0)
+
+
+def run(executor, items):
+    inner = lambda x: work(x)  # noqa: E731 - deliberately bad fixture
+    executor.map(inner, items)
+    executor.map(lambda x: x, items)
+    return executor.map(work, items)

@@ -1,0 +1,16 @@
+"""RPR004 corrected-good: top-level callable, frozen result dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Result:
+    value: float
+
+
+def work(x: float) -> Result:
+    return Result(value=x * 2.0)
+
+
+def run(executor, items):
+    return executor.map(work, items)

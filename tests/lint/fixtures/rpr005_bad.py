@@ -1,0 +1,9 @@
+"""RPR005 seeded-bad: malformed metric names and a dangling span."""
+
+
+def emit(obs, step: int) -> None:
+    obs.add("BadName", 1)  # not dotted lower-snake
+    obs.add("unregistered.count", 1)  # namespace not registered
+    span = obs.trace("cell.step")  # span opened outside `with`
+    obs.observe(f"step_{step}.seconds", 0.1)  # no literal namespace
+    span.close()

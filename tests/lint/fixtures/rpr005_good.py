@@ -1,0 +1,8 @@
+"""RPR005 corrected-good: registered namespaces, spans via ``with``."""
+
+
+def emit(obs, step: int) -> None:
+    obs.add("cell.count", 1)
+    obs.set_gauge("sweep.pending", 3)
+    with obs.trace("cell.step"):
+        obs.observe(f"cell.step_{step}.seconds", 0.1)

@@ -1,0 +1,9 @@
+"""RPR006 seeded-bad: bare math.exp on unbounded expressions."""
+
+import math
+from math import exp
+
+
+def kernel(s: float, drift: float) -> float:
+    lead = math.exp(s * drift)  # unbounded: overflows past ~709.78
+    return lead / (1.0 - exp(drift))  # aliased import, same hazard

@@ -1,0 +1,11 @@
+"""RPR006 corrected-good: unbounded exponents route through safe_exp."""
+
+import math
+
+from repro.utils.numeric import safe_exp
+
+
+def kernel(s: float, drift: float) -> float:
+    lead = safe_exp(s * drift)
+    scale = math.exp(0.5)  # constant argument: cannot overflow
+    return scale * lead / (1.0 - safe_exp(drift))

@@ -1,0 +1,98 @@
+"""CLI behavior: formats, exit codes, --explain, and failure hints."""
+
+import json
+
+from repro.lint.__main__ import main
+
+from tests.lint.util import FIXTURES
+
+BAD = str(FIXTURES / "rpr002_bad.py")
+GOOD = str(FIXTURES / "rpr002_good.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([GOOD]) == 0
+        assert "1 files clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, capsys):
+        assert main([BAD]) == 1
+        out = capsys.readouterr()
+        assert "RPR002" in out.out
+        assert "violation(s)" in out.out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--explain", "RPR999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestFailureHints:
+    def test_hints_name_exact_commands(self, capsys):
+        main([BAD])
+        err = capsys.readouterr().err
+        assert "python -m repro.lint --explain RPR002" in err
+        assert "# repro: noqa=RPR002 -- <why" in err
+        assert "PYTHONPATH=src python -m repro.lint" in err
+
+
+class TestExplain:
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["--explain", "rpr003"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR003" in out
+        assert "backend" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR000", "RPR001", "RPR002", "RPR003",
+                        "RPR004", "RPR005", "RPR006"):
+            assert rule_id in out
+
+
+class TestFormats:
+    def test_json(self, capsys):
+        assert main([BAD, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro.lint"
+        assert payload["ok"] is False
+        assert {v["rule"] for v in payload["violations"]} == {"RPR002"}
+
+    def test_sarif_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        assert main([BAD, "--format", "sarif", "--output", str(target)]) == 1
+        log = json.loads(target.read_text())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        rule_catalog = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_catalog == {
+            "RPR000", "RPR001", "RPR002", "RPR003",
+            "RPR004", "RPR005", "RPR006",
+        }
+        assert all(r["ruleId"] == "RPR002" for r in run["results"])
+        # The human-readable summary still lands on stdout.
+        assert "violation(s)" in capsys.readouterr().out
+
+    def test_sarif_suppressions_are_auditable(self, capsys):
+        noqa = str(FIXTURES / "noqa_cases.py")
+        main([noqa, "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        suppressed = [
+            result
+            for result in log["runs"][0]["results"]
+            if "suppressions" in result
+        ]
+        assert suppressed
+        kinds = {s["kind"] for r in suppressed for s in r["suppressions"]}
+        assert kinds == {"inSource"}
+
+
+class TestSelection:
+    def test_ignore(self, capsys):
+        assert main([BAD, "--ignore", "RPR002"]) == 0
+        capsys.readouterr()
+
+    def test_select_other_rule(self, capsys):
+        assert main([BAD, "--select", "RPR006"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,54 @@
+"""Inline suppression semantics: justification required, RPR000 hygiene."""
+
+from repro.lint.core import parse_noqa
+
+from tests.lint.util import lint_fixture, rule_ids
+
+
+class TestParseNoqa:
+    def test_single_code_with_justification(self):
+        directives = parse_noqa(
+            "x = 1  # repro: noqa=RPR001 -- constant used in a fixture\n"
+        )
+        assert directives[1].codes == frozenset({"RPR001"})
+        assert directives[1].justification == "constant used in a fixture"
+
+    def test_multiple_codes(self):
+        directives = parse_noqa("y = 2  # repro: noqa=RPR001,RPR004 -- both\n")
+        assert directives[1].codes == frozenset({"RPR001", "RPR004"})
+
+    def test_bare_noqa_has_no_justification(self):
+        directives = parse_noqa("z = 3  # repro: noqa=RPR002\n")
+        assert directives[1].justification is None
+
+    def test_plain_comments_ignored(self):
+        assert parse_noqa("a = 4  # noqa: E731\nb = 5  # a comment\n") == {}
+
+
+class TestSuppression:
+    def test_fixture_suppressions(self):
+        report = lint_fixture("noqa_cases")
+        # Both random.random() reads are suppressed (with and without a
+        # justification)...
+        suppressed_rules = sorted(v.rule for v, _ in report.suppressed)
+        assert suppressed_rules == ["RPR001", "RPR001"]
+        # ...but the bare noqa and the noqa=RPR000 line are flagged.
+        assert rule_ids(report) == ["RPR000", "RPR000"]
+
+    def test_justification_carried_through(self):
+        report = lint_fixture("noqa_cases")
+        justifications = {why for _, why in report.suppressed}
+        assert "fixture exercising a justified suppression" in justifications
+        assert "" in justifications  # the bare noqa still suppresses
+
+    def test_rpr000_is_unsuppressible(self):
+        # noqa_cases ends with `# repro: noqa=RPR000` on its own line;
+        # the hygiene finding for that directive must survive.
+        report = lint_fixture("noqa_cases")
+        assert any(
+            violation.rule == "RPR000"
+            for violation in report.violations
+        )
+        assert all(
+            violation.rule != "RPR000" for violation, _ in report.suppressed
+        )

@@ -1,0 +1,103 @@
+"""Each rule fails on its seeded-bad fixture and passes the corrected one."""
+
+from repro.lint import LintConfig
+from repro.lint.core import NumericOptions
+
+from tests.lint.util import lint_fixture, rule_ids
+
+#: Fixture module prefixes count as hot kernels for RPR006.
+HOT = LintConfig(numeric=NumericOptions(hot_modules=("rpr006_",)))
+
+
+class TestCellPurity:
+    def test_bad(self):
+        report = lint_fixture("rpr001_bad")
+        assert set(rule_ids(report)) == {"RPR001"}
+        messages = " ".join(v.message for v in report.violations)
+        assert "nondeterministic module `random`" in messages
+        assert "time.perf_counter" in messages
+        assert "module-level mutable state `STATE`" in messages
+
+    def test_good(self):
+        assert lint_fixture("rpr001_good").ok
+
+
+class TestCacheKeySoundness:
+    def test_bad(self):
+        report = lint_fixture("rpr002_bad")
+        assert set(rule_ids(report)) == {"RPR002"}
+        messages = [v.message for v in report.violations]
+        assert any("positional parameters" in m for m in messages)
+        assert any("no annotation" in m for m in messages)
+        assert any("does not JSON-canonicalize" in m for m in messages)
+        assert any("mutable or unstable default" in m for m in messages)
+
+    def test_good(self):
+        assert lint_fixture("rpr002_good").ok
+
+
+class TestBackendParity:
+    def test_bad_without_evidence(self):
+        report = lint_fixture("rpr003_api")
+        assert rule_ids(report) == ["RPR003"]
+        assert "'numpy', 'scalar'" in report.violations[0].message
+
+    def test_good_with_evidence(self):
+        assert lint_fixture("rpr003_api", tests=("rpr003_evidence",)).ok
+
+    def test_private_functions_exempt(self):
+        # The evidence file defines no backend APIs of its own; linting
+        # it as a source file must not flag the test helper.
+        assert lint_fixture("rpr003_evidence").ok
+
+
+class TestExecutorPicklability:
+    def test_bad(self):
+        report = lint_fixture("rpr004_bad")
+        assert set(rule_ids(report)) == {"RPR004"}
+        messages = [v.message for v in report.violations]
+        assert any("lambda passed across" in m for m in messages)
+        assert any("`inner` is a lambda or nested" in m for m in messages)
+        assert any("dataclass `Result`" in m for m in messages)
+
+    def test_good(self):
+        assert lint_fixture("rpr004_good").ok
+
+
+class TestObsConventions:
+    def test_bad(self):
+        report = lint_fixture("rpr005_bad")
+        assert set(rule_ids(report)) == {"RPR005"}
+        messages = " ".join(v.message for v in report.violations)
+        assert "'BadName' is not dotted lower-snake" in messages
+        assert "outside the registered namespaces" in messages
+        assert "span opened outside a with-statement" in messages
+        assert "literal `namespace.` prefix" in messages
+
+    def test_good(self):
+        assert lint_fixture("rpr005_good").ok
+
+
+class TestNumericSafety:
+    def test_bad(self):
+        report = lint_fixture("rpr006_bad", config=HOT)
+        assert rule_ids(report) == ["RPR006", "RPR006"]
+        assert "safe_exp" in report.violations[0].message
+
+    def test_good(self):
+        # Constant-argument math.exp stays allowed even in hot modules.
+        assert lint_fixture("rpr006_good", config=HOT).ok
+
+    def test_cold_modules_exempt(self):
+        assert lint_fixture("rpr006_bad").ok
+
+
+class TestSelectIgnore:
+    def test_ignore_silences_rule(self):
+        config = LintConfig(ignore=("RPR001",))
+        assert lint_fixture("rpr001_bad", config=config).ok
+
+    def test_select_runs_only_that_rule(self):
+        config = LintConfig(select=("RPR005",))
+        assert lint_fixture("rpr001_bad", config=config).ok
+        assert not lint_fixture("rpr005_bad", config=config).ok

@@ -1,0 +1,25 @@
+"""The repository must lint clean with every suppression justified."""
+
+from pathlib import Path
+
+from repro.lint import lint_repo
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfCheck:
+    def test_repo_lints_clean(self):
+        report = lint_repo(REPO_ROOT)
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.ok, f"repo must lint clean:\n{rendered}"
+
+    def test_repo_coverage(self):
+        report = lint_repo(REPO_ROOT)
+        assert report.checked_files > 50  # the whole src/repro tree
+
+    def test_all_suppressions_justified(self):
+        report = lint_repo(REPO_ROOT)
+        for violation, justification in report.suppressed:
+            assert justification.strip(), (
+                f"{violation.render()} suppressed without a justification"
+            )

@@ -1,0 +1,34 @@
+"""Helpers for the lint tests: load and lint fixture snippets.
+
+Fixture files under ``fixtures/`` are deliberately-violating (or
+corrected) snippets; they are excluded from repo-wide lint runs and
+from pytest collection, and are only parsed — never imported.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, LintReport, lint_files, load_source_file
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load_fixture(name: str, *, is_test: bool = False):
+    """Parse ``fixtures/<name>.py`` with the fixtures dir as package root."""
+    return load_source_file(
+        FIXTURES / f"{name}.py", root=FIXTURES, is_test=is_test
+    )
+
+
+def lint_fixture(
+    *names: str,
+    tests: tuple[str, ...] = (),
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint the named fixtures, indexing ``tests`` as evidence files."""
+    src = [load_fixture(name) for name in names]
+    evidence = [load_fixture(name, is_test=True) for name in tests]
+    return lint_files(src, evidence, config=config)
+
+
+def rule_ids(report: LintReport) -> list[str]:
+    return [violation.rule for violation in report.violations]
