@@ -80,6 +80,9 @@ _PLANNERS: dict[str, str] = {
     "repro.experiments.validation:validation_bound_cell": (
         "repro.experiments.validation:validation_bound_plan"
     ),
+    "repro.service.api.cells:bound_query_cell": (
+        "repro.service.api.cells:bound_query_plan"
+    ),
 }
 
 
@@ -179,11 +182,16 @@ def plan_batches(
         indices = range(len(spec.cells))
     groups: dict[tuple, list[int]] = {}
     fallback: list[int] = []
+    fallback_reasons: dict[str, int] = {}
     for index in indices:
         cell = spec.cells[index]
-        plan = plan_cell(cell)
+        if cell.fn not in _PLANNERS:
+            plan, reason = None, "no_planner"
+        else:
+            plan, reason = plan_cell(cell), "planner_declined"
         if plan is None:
             fallback.append(index)
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
             continue
         key = (cell.fn, plan.kind, plan.spec.backend)
         groups.setdefault(key, []).append(index)
@@ -212,6 +220,12 @@ def plan_batches(
     if obs.enabled():
         obs.add("batch.planned", len(batches))
         obs.add("batch.fallback_cells", len(fallback))
+        # reason-labelled fallback counters: "no_planner" (cell function
+        # never registered) vs "planner_declined" (planner returned None
+        # for these parameters) — so fallbacks are diagnosable from any
+        # metrics surface (e.g. the bound service's /v1/metrics).
+        for reason, count in sorted(fallback_reasons.items()):
+            obs.add(f"batch.fallback_cells.{reason}", count)
         for batch in batches:
             obs.observe("batch.occupancy", len(batch.cells))
     return batches

@@ -239,7 +239,7 @@ class ObsOptions:
     namespaces: tuple[str, ...] = (
         "batch", "cache", "cell", "cli", "cprobe", "e2e", "executor",
         "lanes", "lint", "numeric", "obs", "optimization", "rare",
-        "simulation", "sweep", "topology", "vectorized",
+        "service", "simulation", "sweep", "topology", "vectorized",
     )
     #: Modules exempt from the rule (the obs facade itself).
     exempt_modules: tuple[str, ...] = ("repro.obs",)

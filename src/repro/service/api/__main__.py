@@ -1,0 +1,101 @@
+"""``python -m repro.service.api`` — run the bound-query server.
+
+Prints one ``listening on http://HOST:PORT`` line once the socket is
+bound (the CI smoke job and scripts parse it to discover an ephemeral
+port), then serves until SIGINT/SIGTERM, shutting down cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.experiments.batch import MAX_LANES
+from repro.experiments.cache import DEFAULT_CACHE_DIR
+from repro.service.api.app import BoundService, ServiceConfig
+from repro.service.api.coalescer import DEFAULT_WINDOW_S
+from repro.service.api.http import HttpServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.api",
+        description="Bound-query service: delay/backlog bounds and "
+        "admission verdicts over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks an ephemeral one (default %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=DEFAULT_WINDOW_S,
+        metavar="SECONDS",
+        help="coalescing window for concurrent queries "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-lanes", type=int, default=MAX_LANES,
+        help="max queries fused into one solver batch (default %(default)s)",
+    )
+    parser.add_argument(
+        "--lru-size", type=int, default=4096,
+        help="in-memory LRU capacity in entries (default %(default)s)",
+    )
+    parser.add_argument(
+        "--lru-ttl", type=float, default=None, metavar="SECONDS",
+        help="optional LRU entry TTL (default: no expiry)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="on-disk cell cache directory (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="serve from the LRU and solver only",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    config = ServiceConfig(
+        batch_window_s=args.batch_window,
+        max_lanes=args.max_lanes,
+        lru_size=args.lru_size,
+        lru_ttl_s=args.lru_ttl,
+        cache_dir=None if args.no_disk_cache else args.cache_dir,
+    )
+    server = HttpServer(
+        BoundService(config), host=args.host, port=args.port
+    )
+    host, port = await server.start()
+    print(f"listening on http://{host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        await server.aclose()
+    print("shutdown complete", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

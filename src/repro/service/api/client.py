@@ -1,0 +1,157 @@
+"""Clients for the bound service (used by tests, CI smoke, and benches).
+
+:class:`ServiceClient` is a small synchronous wrapper over
+:class:`http.client.HTTPConnection` — one persistent connection, JSON
+in/out.  :class:`AsyncServiceClient` is its asyncio twin over
+``asyncio.open_connection``, for callers that need many concurrent
+in-flight requests (the load benchmark drives >=1000 of them).
+
+Both parse response bodies with :func:`json.loads`, which accepts the
+non-strict ``Infinity`` the server emits for infeasible bounds and
+round-trips finite floats bitwise.  A non-2xx response raises
+:class:`ServiceError` carrying the status and the server's structured
+``{"error": {...}}`` payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx service response (carries the structured error body)."""
+
+    def __init__(self, status: int, payload: Any):
+        error = (
+            payload.get("error", {}) if isinstance(payload, dict) else {}
+        )
+        message = error.get("message", f"HTTP {status}")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.code = error.get("code")
+
+
+def _check(status: int, payload: Any) -> Any:
+    if not 200 <= status < 300:
+        raise ServiceError(status, payload)
+    return payload
+
+
+class ServiceClient:
+    """Synchronous bound-service client over one persistent connection."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 60.0
+    ):
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> tuple[int, Any]:
+        """One request; returns ``(status, parsed_json_body)``."""
+        data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        self._conn.request(method, path, body=data, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else None
+
+    def bounds(self, query: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/bounds``; the bound row (raises on error status)."""
+        return _check(*self.request("POST", "/v1/bounds", query))
+
+    def admissible(self, query: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/admissible``; the verdict (raises on error status)."""
+        return _check(*self.request("POST", "/v1/admissible", query))
+
+    def healthz(self) -> dict[str, Any]:
+        return _check(*self.request("GET", "/v1/healthz"))
+
+    def metrics(self) -> dict[str, Any]:
+        return _check(*self.request("GET", "/v1/metrics"))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio bound-service client: one connection, sequential requests.
+
+    For concurrency, open one client per task (connections are cheap on
+    loopback) — requests on a single client are serialized by a lock.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> tuple[int, Any]:
+        data = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: service\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("ascii")
+        async with self._lock:
+            self._writer.write(head + data)
+            await self._writer.drain()
+            status_line = await self._reader.readline()
+            if not status_line:
+                raise ConnectionError("server closed the connection")
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await self._reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value)
+            raw = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(raw) if raw else None
+
+    async def bounds(self, query: dict[str, Any]) -> dict[str, Any]:
+        return _check(*await self.request("POST", "/v1/bounds", query))
+
+    async def admissible(self, query: dict[str, Any]) -> dict[str, Any]:
+        return _check(*await self.request("POST", "/v1/admissible", query))
+
+    async def healthz(self) -> dict[str, Any]:
+        return _check(*await self.request("GET", "/v1/healthz"))
+
+    async def metrics(self) -> dict[str, Any]:
+        return _check(*await self.request("GET", "/v1/metrics"))
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -102,6 +102,30 @@ def test_plan_batches_records_metrics():
         assert occupancy and max(occupancy) <= MAX_LANES
 
 
+def test_plan_labels_fallback_reasons():
+    """Fallbacks are counted per reason: cells whose function was never
+    registered (``no_planner``) separately from cells whose planner
+    declined them (``planner_declined``) — so a metrics surface (e.g.
+    the bound service's /v1/metrics) shows *why* cells ran singleton."""
+    from repro.service.api.model import BoundQuery
+
+    unregistered = Cell.make("repro.experiments.sweep:probe_cell", value=1.0)
+    declined = BoundQuery.from_json(
+        {"kind": "backlog", "scheduler": "SP", "hops": 1, "n_through": 2}
+    ).cell()
+    planned = BoundQuery.from_json(
+        {"scheduler": "FIFO", "hops": 1, "n_through": 2}
+    ).cell()
+    spec = SweepSpec.build(
+        "reasons", [unregistered, unregistered, declined, planned]
+    )
+    with obs.scoped(enabled=True) as registry:
+        plan_batches(spec)
+        assert registry.counter("batch.fallback_cells") == 3
+        assert registry.counter("batch.fallback_cells.no_planner") == 2
+        assert registry.counter("batch.fallback_cells.planner_declined") == 1
+
+
 def test_plan_is_deterministic():
     spec = fig2_spec(utilizations=(0.20, 0.50), hops=(2, 5))
     first = plan_batches(spec)

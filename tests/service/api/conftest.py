@@ -1,0 +1,28 @@
+"""Deterministic in-process harness fixtures for the service tests.
+
+The heavy lifting lives in :mod:`tests.service.api.util`:
+:class:`~tests.service.api.util.ServerHarness` boots the real server —
+real sockets, ephemeral port, full HTTP parsing — inside a background
+event-loop thread, with injectable window sleeps and clocks so nothing
+in the suite waits on wall time.
+"""
+
+import pytest
+
+from tests.service.api.util import ServerHarness
+
+
+@pytest.fixture()
+def harness():
+    """A running server with a real 1 ms window and no disk cache."""
+    with ServerHarness() as h:
+        yield h
+
+
+@pytest.fixture(scope="module")
+def shared_harness():
+    """Module-scoped server for property tests (Hypothesis examples
+    reuse one server; state carried between examples is only caches,
+    which the properties under test are robust to)."""
+    with ServerHarness() as h:
+        yield h

@@ -1,0 +1,104 @@
+"""The in-memory LRU front-cache: bounds, TTL, recency, and staleness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.service.api.lru import LRUCache
+
+from tests.service.api.util import ManualClock
+
+
+def test_size_bound_evicts_least_recent():
+    lru = LRUCache(2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1  # refreshes a's recency
+    lru.put("c", 3)  # evicts b, the least recently used
+    assert lru.get("b") is None
+    assert lru.get("a") == 1
+    assert lru.get("c") == 3
+    assert len(lru) == 2
+
+
+def test_ttl_expiry_without_sleeping():
+    clock = ManualClock()
+    lru = LRUCache(8, ttl_s=10.0, clock=clock)
+    lru.put("a", 1)
+    clock.advance(9.9)
+    assert lru.get("a") == 1
+    clock.advance(10.1)  # stored_at is not refreshed by reads
+    assert lru.get("a") is None
+    assert "a" not in lru
+
+
+def test_put_refreshes_ttl():
+    clock = ManualClock()
+    lru = LRUCache(8, ttl_s=10.0, clock=clock)
+    lru.put("a", 1)
+    clock.advance(8.0)
+    lru.put("a", 2)
+    clock.advance(8.0)
+    assert lru.get("a") == 2
+
+
+def test_counters():
+    registry = MetricsRegistry(enabled=True)
+    lru = LRUCache(1, registry=registry)
+    lru.put("a", 1)
+    lru.get("a")
+    lru.get("zzz")
+    lru.put("b", 2)  # evicts a
+    snap = registry.snapshot()["counters"]
+    assert snap["service.lru_hit"] == 1.0
+    assert snap["service.lru_miss"] == 1.0
+    assert snap["service.lru_evict"] == 1.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+    with pytest.raises(ValueError):
+        LRUCache(4, ttl_s=0.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "invalidate", "tick"]),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=60,
+    ),
+    max_entries=st.integers(min_value=1, max_value=4),
+    ttl_s=st.one_of(st.none(), st.just(5.0)),
+)
+def test_never_serves_stale_values(ops, max_entries, ttl_s):
+    """Against a model: a hit is always the *latest* value put for that
+    key, never expired, and never a value that was evicted and not
+    re-inserted."""
+    clock = ManualClock()
+    lru = LRUCache(max_entries, ttl_s=ttl_s, clock=clock)
+    latest: dict[str, tuple[int, float]] = {}
+    version = 0
+    for op, slot in ops:
+        key = f"k{slot}"
+        if op == "put":
+            version += 1
+            lru.put(key, version)
+            latest[key] = (version, clock.now)
+        elif op == "invalidate":
+            lru.invalidate(key)
+            latest.pop(key, None)
+        elif op == "tick":
+            clock.advance(2.0)
+        else:
+            value = lru.get(key)
+            if value is not None:
+                assert key in latest
+                expected, stored_at = latest[key]
+                assert value == expected
+                if ttl_s is not None:
+                    assert clock.now - stored_at <= ttl_s
+    assert len(lru) <= max_entries

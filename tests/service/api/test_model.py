@@ -1,0 +1,100 @@
+"""Query validation and canonicalization (`repro.service.api.model`)."""
+
+import pytest
+
+from repro.experiments.config import EPSILON, QUICK_GRIDS
+from repro.service.api.model import PAPER_TRAFFIC, BoundQuery, QueryError
+
+
+def q(**overrides):
+    body = {"scheduler": "FIFO", "hops": 4, "n_through": 10}
+    body.update(overrides)
+    return body
+
+
+def test_defaults_fill_paper_setting():
+    query = BoundQuery.from_json(q())
+    assert query.kind == "delay"
+    assert query.traffic == PAPER_TRAFFIC
+    assert query.capacity == 100.0
+    assert query.epsilon == EPSILON
+    assert query.n_cross == 0
+    assert query.s_grid == QUICK_GRIDS["s_grid"]
+    assert query.backend == "numpy"
+
+
+def test_cell_key_is_canonical():
+    """Field order and list-vs-tuple spelling do not change the key."""
+    a = BoundQuery.from_json(
+        {"scheduler": "SP", "hops": 3, "n_through": 7, "traffic": [1.5, 0.989, 0.9]}
+    )
+    b = BoundQuery.from_json(
+        {"traffic": (1.5, 0.989, 0.9), "n_through": 7, "hops": 3, "scheduler": "SP"}
+    )
+    assert a == b
+    assert a.key() == b.key()
+
+
+def test_non_edf_weights_are_canonicalized():
+    """Deadline weights cannot affect FIFO answers, so they are pinned
+    to the defaults — the cache key must not fragment on them."""
+    plain = BoundQuery.from_json(q())
+    weighted = BoundQuery.from_json(
+        q(deadline_weight_through=3.0, deadline_weight_cross=7.0)
+    )
+    assert plain.key() == weighted.key()
+    # ... while for EDF they are honoured and enter the key
+    edf = BoundQuery.from_json(q(scheduler="EDF"))
+    edf_weighted = BoundQuery.from_json(
+        q(scheduler="EDF", deadline_weight_through=3.0)
+    )
+    assert edf.deadline_weight_through == 1.0
+    assert edf_weighted.deadline_weight_through == 3.0
+    assert edf.key() != edf_weighted.key()
+
+
+@pytest.mark.parametrize(
+    "body, field",
+    [
+        ({"hops": 4, "n_through": 10}, "scheduler"),
+        (q(scheduler="WFQ"), "scheduler"),
+        (q(kind="jitter"), "kind"),
+        (q(kind="backlog", scheduler="EDF"), "scheduler"),
+        (q(hops=0), "hops"),
+        (q(hops=5000), "hops"),
+        (q(hops=2.5), "hops"),
+        (q(hops=True), "hops"),
+        (q(n_through=0), "n_through"),
+        (q(epsilon=0.0), "epsilon"),
+        (q(epsilon=1.0), "epsilon"),
+        (q(epsilon="tiny"), "epsilon"),
+        (q(traffic=[1.5, 0.989]), "traffic"),
+        (q(traffic=[1.5, 1.2, 0.9]), "traffic.p11"),
+        (q(traffic="fast"), "traffic"),
+        (q(capacity=0.0), "capacity"),
+        (q(backend="torch"), "backend"),
+        (q(s_grid=1), "s_grid"),
+        (q(gamma_grid=10**6), "gamma_grid"),
+        (q(scheduler="EDF", deadline_weight_cross=0.0), "deadline_weight_cross"),
+    ],
+)
+def test_rejections_name_the_field(body, field):
+    with pytest.raises(QueryError) as excinfo:
+        BoundQuery.from_json(body)
+    assert excinfo.value.field == field
+    payload = excinfo.value.to_json()
+    assert payload["error"]["code"] == "bad-request"
+    assert payload["error"]["field"] == field
+
+
+def test_non_object_bodies_rejected():
+    for body in (None, [], "query", 7):
+        with pytest.raises(QueryError):
+            BoundQuery.from_json(body)
+
+
+def test_nan_and_inf_rejected():
+    with pytest.raises(QueryError):
+        BoundQuery.from_json(q(epsilon=float("nan")))
+    with pytest.raises(QueryError):
+        BoundQuery.from_json(q(capacity=float("inf")))

@@ -1,0 +1,151 @@
+"""Shared helpers for the bound-service tests (see conftest.py)."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.api.app import BoundService, ServiceConfig
+from repro.service.api.client import ServiceClient
+from repro.service.api.http import HttpServer
+
+
+class ManualClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta_s: float) -> None:
+        self.now += delta_s
+
+
+class ManualSleep:
+    """An injectable coalescer sleep gated on test-controlled releases.
+
+    Every call parks on its own event (recording the requested delay in
+    :attr:`calls`); :meth:`release` opens all currently parked windows.
+    A release that arrives *before* the window task has parked — easy
+    to hit, since the coalescer's timer task starts a loop pass after
+    the submit — is banked as a credit that opens the next window
+    immediately, so release/park races cannot deadlock.  Thread-safe:
+    tests may call ``release`` from the pytest thread while the waiters
+    live on the server loop.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None):
+        self._loop = loop
+        self._waiters: list[asyncio.Event] = []
+        self._credits = 0
+        self.calls: list[float] = []
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    async def __call__(self, delay_s: float) -> None:
+        self.calls.append(delay_s)
+        if self._credits > 0:
+            self._credits -= 1
+            return
+        event = asyncio.Event()
+        self._waiters.append(event)
+        await event.wait()
+
+    def _open(self) -> None:
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                event.set()
+        else:
+            self._credits += 1
+
+    def release(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._open)
+        else:
+            self._open()
+
+    async def wait_parked(self, n: int = 1) -> None:
+        """Yield until ``n`` windows are actually parked (same loop)."""
+        while len(self._waiters) < n:
+            await asyncio.sleep(0)
+
+    @property
+    def parked(self) -> int:
+        return len(self._waiters)
+
+
+class ServerHarness:
+    """The real bound service on a real ephemeral socket, in-process."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        manual_sleep: bool = False,
+        clock: ManualClock | None = None,
+    ):
+        self.config = config or ServiceConfig(
+            cache_dir=None, batch_window_s=0.001
+        )
+        self.manual_sleep = ManualSleep() if manual_sleep else None
+        self.clock = clock
+        self.service: BoundService | None = None
+        self.server: HttpServer | None = None
+        self.host = ""
+        self.port = 0
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="service-harness", daemon=True
+        )
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread.start()
+        if self.manual_sleep is not None:
+            self.manual_sleep.bind(self.loop)
+
+        async def boot() -> tuple[str, int]:
+            kwargs = {}
+            if self.manual_sleep is not None:
+                kwargs["sleep"] = self.manual_sleep
+            if self.clock is not None:
+                kwargs["clock"] = self.clock
+            self.service = BoundService(self.config, **kwargs)
+            self.server = HttpServer(self.service)
+            return await self.server.start()
+
+        self.host, self.port = self.run(boot())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.manual_sleep is not None:
+            self.manual_sleep.release()  # never leave a flush parked
+        if self.server is not None:
+            self.run(self.server.aclose())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+    def run(self, coro, timeout: float = 120.0):
+        """Run ``coro`` on the server loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(
+            timeout
+        )
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient(self.host, self.port, **kwargs)
+
+
+#: A tiny, cheap, always-valid query (1 hop, coarse grids) for tests
+#: that exercise the service machinery rather than the mathematics.
+CHEAP_QUERY = {
+    "scheduler": "FIFO",
+    "hops": 1,
+    "n_through": 5,
+    "n_cross": 5,
+    "s_grid": 4,
+    "gamma_grid": 4,
+}
